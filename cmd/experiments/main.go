@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// panel (Figures 2(a)–(e) and 3(a)–(f)) as a parameter sweep over the
+// three protocols, printed as text tables and optionally written as CSV
+// files for plotting.
+//
+// Usage:
+//
+//	experiments                  # run all panels at full scale
+//	experiments -only fig3a      # one panel
+//	experiments -small           # reduced scale (quick smoke run)
+//	experiments -csv results/    # also write one CSV per panel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only    = fs.String("only", "", "run a single panel by id (e.g. fig2a)")
+		small   = fs.Bool("small", false, "reduced population and duration")
+		seed    = fs.Uint64("seed", 1, "sweep seed")
+		seeds   = fs.Int("seeds", 1, "average each point over this many seeds")
+		workers = fs.Int("workers", 1, "panels to run concurrently")
+		csvDir  = fs.String("csv", "", "also write one CSV per panel into this directory")
+		svgDir  = fs.String("svg", "", "also render two SVG charts per panel into this directory")
+		replot  = fs.String("replot", "", "render SVGs from saved CSVs in this directory instead of simulating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.Options{Seed: *seed, Seeds: *seeds, Small: *small, Workers: *workers}
+
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	var series []*experiment.Series
+	start := time.Now()
+	if *replot != "" {
+		loaded, err := loadSeries(*replot, *only)
+		if err != nil {
+			return err
+		}
+		series = loaded
+	} else if *only != "" {
+		def, err := experiment.Lookup(*only)
+		if err != nil {
+			return err
+		}
+		s, err := experiment.Run(def, opts)
+		if err != nil {
+			return err
+		}
+		series = []*experiment.Series{s}
+	} else {
+		all, err := experiment.RunAll(opts)
+		if err != nil {
+			return err
+		}
+		series = all
+	}
+
+	for _, s := range series {
+		fmt.Fprint(stdout, s.Table())
+		fmt.Fprintln(stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, s.ID+".csv")
+			if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+		if *svgDir != "" {
+			for _, m := range []struct {
+				metric plot.Metric
+				suffix string
+			}{
+				{plot.MetadataRatio, "meta"},
+				{plot.FileRatio, "file"},
+			} {
+				path := filepath.Join(*svgDir, fmt.Sprintf("%s_%s.svg", s.ID, m.suffix))
+				if err := os.WriteFile(path, []byte(plot.SVG(s, m.metric)), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "(%d panels in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// loadSeries parses saved per-panel CSVs from dir; only filters to one id.
+func loadSeries(dir, only string) ([]*experiment.Series, error) {
+	var out []*experiment.Series
+	for _, def := range experiment.Definitions() {
+		if only != "" && def.ID != only {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, def.ID+".csv"))
+		if err != nil {
+			return nil, err
+		}
+		s, err := experiment.ParseCSV(def.ID, string(data))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

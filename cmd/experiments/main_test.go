@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSinglePanelSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig3a", "-small"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fig 3(a)", "MBT-QM", "1 panels"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	var out strings.Builder
+	if err := run([]string{"-only", "fig2c", "-small", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,MBT_meta") {
+		t.Fatalf("csv content:\n%s", data)
+	}
+}
+
+func TestUnknownPanel(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig9z"}, &out); err == nil {
+		t.Fatal("unknown panel accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	var out strings.Builder
+	if err := run([]string{"-only", "fig2c", "-small", "-svg", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2c_meta.svg", "fig2c_file.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+}
+
+func TestReplotFromCSV(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	svgDir := filepath.Join(t.TempDir(), "svg")
+	var out strings.Builder
+	if err := run([]string{"-only", "fig2c", "-small", "-csv", csvDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-only", "fig2c", "-replot", csvDir, "-svg", svgDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(svgDir, "fig2c_file.svg")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 2(c)") {
+		t.Fatalf("replot output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestRunNUS(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-trace", "nus", "-variant", "MBT-Q", "-new-files", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"nus-synth", "MBT-Q", "metadata delivered", "files delivered"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	cfg := tracegen.DefaultDiesel()
+	cfg.Buses, cfg.Days = 10, 3
+	tr, err := tracegen.Diesel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bus.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-trace-file", path, "-new-files", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dieselnet-synth") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown trace", []string{"-trace", "mars"}},
+		{"unknown variant", []string{"-variant", "BITTORRENT"}},
+		{"missing trace file", []string{"-trace-file", "/does/not/exist"}},
+		{"bad internet fraction", []string{"-internet", "2"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+		})
+	}
+}
+
+func TestRunTitForTatFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-trace", "nus", "-tft", "-free-riders", "0.2", "-new-files", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tit-for-tat") {
+		t.Fatalf("output missing tit-for-tat banner:\n%s", out.String())
+	}
+}
+
+func TestRunExtendedKnobs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-trace", "nus", "-new-files", "10", "-loss", "0.2",
+		"-metadata-cap", "100", "-cache-cap", "5",
+		"-tft", "-choke-credit", "0.5", "-choke-optimistic", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "files delivered") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestChokeWithoutTFTRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace", "nus", "-choke-credit", "1"}, &out); err == nil {
+		t.Fatal("choking without -tft accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllProtocolsOnWaypoint(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace", "waypoint", "-messages", "30", "-ttl", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"direct", "epidemic", "spray-and-wait", "prophet", "waypoint-synth"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSingleProtocol(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace", "uniform", "-messages", "20", "-protocol", "epidemic"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "epidemic") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if strings.Contains(got, "prophet") {
+		t.Fatalf("protocol filter ignored:\n%s", got)
+	}
+}
+
+func TestBudgetFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace", "uniform", "-messages", "20",
+		"-protocol", "epidemic", "-budget", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown trace", []string{"-trace", "mars"}},
+		{"unknown protocol", []string{"-protocol", "teleport"}},
+		{"bad flag", []string{"-zzz"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Command tracegen generates synthetic DTN contact traces in the text
+// format of internal/trace and writes them to stdout or a file.
+//
+// Usage:
+//
+//	tracegen -kind nus -out campus.trace
+//	tracegen -kind dieselnet -days 30 -seed 7
+//	tracegen -kind uniform -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/simtime"
+	"repro/internal/stgraph"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind  = fs.String("kind", "nus", "trace family: nus, dieselnet, waypoint or uniform")
+		nodes = fs.Int("nodes", 0, "node count (0 = family default)")
+		days  = fs.Int("days", 0, "trace length in days (0 = family default)")
+		seed  = fs.Uint64("seed", 1, "generator seed")
+		out   = fs.String("out", "", "output file (default stdout)")
+		stats = fs.Bool("stats", false, "print trace statistics instead of the trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := generate(*kind, *nodes, *days, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		return printStats(stdout, tr)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.Encode(w, tr)
+}
+
+func generate(kind string, nodes, days int, seed uint64) (*trace.Trace, error) {
+	switch kind {
+	case "nus":
+		cfg := tracegen.DefaultNUS()
+		cfg.Seed = seed
+		if nodes > 0 {
+			cfg.Students = nodes
+		}
+		if days > 0 {
+			cfg.Days = days
+		}
+		return tracegen.NUS(cfg)
+	case "dieselnet":
+		cfg := tracegen.DefaultDiesel()
+		cfg.Seed = seed
+		if nodes > 0 {
+			cfg.Buses = nodes
+		}
+		if days > 0 {
+			cfg.Days = days
+		}
+		return tracegen.Diesel(cfg)
+	case "waypoint":
+		cfg := tracegen.DefaultWaypoint()
+		cfg.Seed = seed
+		if nodes > 0 {
+			cfg.Nodes = nodes
+		}
+		if days > 0 {
+			cfg.Days = days
+		}
+		return tracegen.Waypoint(cfg)
+	case "uniform":
+		cfg := tracegen.DefaultUniform()
+		cfg.Seed = seed
+		if nodes > 0 {
+			cfg.Nodes = nodes
+		}
+		if days > 0 {
+			cfg.Days = days
+		}
+		return tracegen.Uniform(cfg)
+	default:
+		return nil, fmt.Errorf("unknown trace family %q", kind)
+	}
+}
+
+func printStats(w io.Writer, tr *trace.Trace) error {
+	st := trace.NewStats(tr)
+	fmt.Fprintf(w, "trace:                 %s\n", tr.Name)
+	fmt.Fprintf(w, "nodes:                 %d\n", tr.NodeCount)
+	fmt.Fprintf(w, "sessions:              %d\n", len(tr.Sessions))
+	fmt.Fprintf(w, "days:                  %d\n", tr.Days())
+	fmt.Fprintf(w, "mean session size:     %.2f nodes\n", st.MeanSessionSize())
+	fmt.Fprintf(w, "mean session duration: %v\n", st.MeanSessionDuration())
+	fmt.Fprintf(w, "isolated nodes:        %d\n", len(st.IsolatedNodes()))
+	fmt.Fprintf(w, "frequent pairs (1/3d): %d nodes involved\n",
+		len(st.FrequentContacts(1.0/3)))
+	fmt.Fprintf(w, "temporal connectivity: %.1f%% of pairs within 3 days\n",
+		100*stgraph.TemporalConnectivity(tr, simtime.Days(3)))
+	fmt.Fprintf(w, "\nsession durations:\n%s", st.DurationHistogram([]simtime.Duration{
+		30 * simtime.Second, 2 * simtime.Minute, 30 * simtime.Minute, 2 * simtime.Hour,
+	}))
+	fmt.Fprintf(w, "\ninter-contact times:\n%s", st.InterContactHistogram([]simtime.Duration{
+		simtime.Hour, 6 * simtime.Hour, simtime.Day, 3 * simtime.Day,
+	}))
+	return nil
+}

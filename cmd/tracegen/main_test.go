@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "uniform", "-nodes", "5", "-days", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Decode(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount != 5 {
+		t.Fatalf("nodes = %d", tr.NodeCount)
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trace")
+	var out strings.Builder
+	if err := run([]string{"-kind", "dieselnet", "-days", "2", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "dieselnet-synth" {
+		t.Fatalf("name = %q", tr.Name)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "nus", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"nus-synth", "mean session size", "sessions:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEveryFamilyWithOverrides(t *testing.T) {
+	for _, kind := range []string{"nus", "dieselnet", "uniform"} {
+		var out strings.Builder
+		if err := run([]string{"-kind", kind, "-nodes", "12", "-days", "3", "-stats"}, &out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), "nodes:                 12") {
+			t.Fatalf("%s: node override ignored:\n%s", kind, out.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown kind", []string{"-kind", "mars"}},
+		{"bad node count", []string{"-kind", "nus", "-nodes", "1"}},
+		{"bad flag", []string{"-zzz"}},
+		{"unwritable out", []string{"-kind", "uniform", "-out", "/does/not/exist/x.trace"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+		})
+	}
+}
+
+func TestWaypointFamily(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "waypoint", "-nodes", "10", "-days", "1", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "waypoint-synth") {
+		t.Fatalf("stats:\n%s", out.String())
+	}
+}

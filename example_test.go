@@ -1,0 +1,74 @@
+package hybriddtn_test
+
+import (
+	"fmt"
+	"log"
+
+	hybriddtn "repro"
+)
+
+// ExampleRun simulates the full MBT protocol over a small campus trace
+// and reports whether the offline students' searches were served.
+func ExampleRun() {
+	traceCfg := hybriddtn.DefaultNUSTrace()
+	traceCfg.Students, traceCfg.Classes, traceCfg.Days = 40, 8, 5
+
+	tr, err := hybriddtn.NUSTrace(traceCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := hybriddtn.DefaultConfig(tr)
+	cfg.Variant = hybriddtn.MBT
+	cfg.Workload.NewFilesPerDay = 10
+
+	res, err := hybriddtn.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("queries generated:", res.Queries > 0)
+	fmt.Println("ratios in range:",
+		res.MetadataRatio >= 0 && res.MetadataRatio <= 1 &&
+			res.FileRatio >= 0 && res.FileRatio <= res.MetadataRatio)
+	// Output:
+	// queries generated: true
+	// ratios in range: true
+}
+
+// ExampleParseVariant shows the protocol names the paper uses.
+func ExampleParseVariant() {
+	for _, name := range []string{"MBT", "MBT-Q", "MBT-QM"} {
+		v, err := hybriddtn.ParseVariant(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// MBT
+	// MBT-Q
+	// MBT-QM
+}
+
+// ExampleRunExperiment reproduces one point of the paper's Figure 3(a)
+// at test scale.
+func ExampleRunExperiment() {
+	def, err := hybriddtn.LookupExperiment("fig3a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	def.Xs = []float64{0.5}
+
+	s, err := hybriddtn.RunExperiment(def, hybriddtn.ExperimentOptions{Seed: 1, Small: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cell := s.Points[0].Cells[hybriddtn.MBT]
+	fmt.Println("panel:", s.ID)
+	fmt.Println("MBT delivered something:", cell.MetadataRatio > 0)
+	// Output:
+	// panel: fig3a
+	// MBT delivered something: true
+}

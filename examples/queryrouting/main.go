@@ -1,0 +1,73 @@
+// Queryrouting: the alternative design the paper contrasts with (§II-D)
+// — instead of distributing metadata through the DTN, route each query as
+// a unicast message to an Internet-access node using classic DTN routing.
+// The example runs direct delivery, epidemic, binary spray-and-wait and
+// PRoPHET over the bus trace and reports how many queries would even
+// reach the Internet, at what delay and at what transmission cost —
+// motivating the paper's choice of proactive metadata distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	traceCfg := tracegen.DefaultDiesel()
+	traceCfg.Days = 14
+	tr, err := tracegen.Diesel(traceCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Half the buses reach the Internet; queries from the other half
+	// must be carried to one of them.
+	r := rng.New(7)
+	perm := r.Perm(tr.NodeCount)
+	internet := perm[:tr.NodeCount/2]
+	offline := perm[tr.NodeCount/2:]
+
+	const ttl = 3 // days, matching the file TTL
+	var msgs []routing.Message
+	for day := 0; day < traceCfg.Days-ttl; day++ {
+		for _, src := range offline {
+			// Each offline bus sends ~2 queries/day (the paper's rate),
+			// each addressed to a random Internet-access bus.
+			for q := 0; q < 2; q++ {
+				dst := internet[r.Intn(len(internet))]
+				created := simtime.At(day, simtime.FileGenerationOffset)
+				msgs = append(msgs, routing.Message{
+					ID:      len(msgs),
+					Src:     trace.NodeID(src),
+					Dst:     trace.NodeID(dst),
+					Created: created,
+					Expires: created.Add(simtime.Days(ttl)),
+				})
+			}
+		}
+	}
+
+	fmt.Printf("routing %d queries from %d offline buses to the Internet\n\n",
+		len(msgs), len(offline))
+	fmt.Printf("%-16s %10s %14s %12s\n", "protocol", "delivered", "mean delay", "overhead")
+	for _, p := range routing.All() {
+		res, err := routing.Simulate(routing.Config{
+			Trace:    tr,
+			Messages: msgs,
+			Protocol: p,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %9.1f%% %14v %12.1f\n",
+			res.Protocol, res.Ratio*100, res.MeanDelay, res.Overhead)
+	}
+	fmt.Println("\neven epidemic flooding pays hours of delay per query — which is")
+	fmt.Println("why MBT distributes metadata ahead of demand instead.")
+}

@@ -1,0 +1,142 @@
+// Package hybriddtn is the public API of this reproduction of
+// "Cooperative File Sharing in Hybrid Delay Tolerant Networks"
+// (Liu, Wu, Guan, Chen — ICDCS 2011).
+//
+// The library simulates mobile BitTorrent (MBT): a cooperative
+// file-sharing system for hybrid DTNs in which some mobile nodes
+// occasionally reach the Internet and all nodes exchange file metadata
+// (cooperative file discovery, §IV) and file pieces (broadcast-based file
+// download, §V) during opportunistic contacts.
+//
+// A minimal run:
+//
+//	tr, _ := hybriddtn.NUSTrace(hybriddtn.DefaultNUSTrace())
+//	cfg := hybriddtn.DefaultConfig(tr)
+//	res, _ := hybriddtn.Run(cfg)
+//	fmt.Println(res.MetadataRatio, res.FileRatio)
+//
+// The deeper building blocks live in internal/ packages; this package
+// re-exports the surface a downstream user needs: trace generation,
+// simulation configuration and execution, protocol variants, and the
+// experiment harness that regenerates every figure of the paper's
+// evaluation.
+package hybriddtn
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Re-exported simulation types.
+type (
+	// Config parameterizes one simulation run; see DefaultConfig.
+	Config = core.Config
+	// Result carries the delivery ratios and traffic counters of a run.
+	Result = core.Result
+	// Variant selects the protocol: MBT, MBTQ or MBTQM.
+	Variant = core.Variant
+	// Trace is a contact trace: the session (clique) schedule driving
+	// the simulation.
+	Trace = trace.Trace
+	// Session is one contact: a set of mutually connected nodes and an
+	// interval.
+	Session = trace.Session
+	// NodeID identifies a node in a trace.
+	NodeID = trace.NodeID
+)
+
+// Protocol variants (§VI): the full protocol, the no-query-distribution
+// baseline, and the no-metadata-distribution baseline.
+const (
+	MBT   = core.MBT
+	MBTQ  = core.MBTQ
+	MBTQM = core.MBTQM
+)
+
+// Variants lists the protocols in presentation order.
+func Variants() []Variant { return core.Variants() }
+
+// ParseVariant converts "MBT", "MBT-Q" or "MBT-QM" to a Variant.
+func ParseVariant(s string) (Variant, error) { return core.ParseVariant(s) }
+
+// DefaultConfig returns the evaluation defaults for a trace (50%
+// Internet-access nodes, 5 metadata and 3 files per contact, cooperative
+// scheduling).
+func DefaultConfig(tr *Trace) Config { return core.DefaultConfig(tr) }
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Sim is a constructed simulation whose node states and per-query
+// metrics remain inspectable after Run — used for analyses beyond the
+// aggregate Result, such as per-group delivery in tit-for-tat studies.
+type Sim = core.Sim
+
+// NewSim builds a simulation without running it; call its Run method
+// once, then inspect Nodes and Collector.
+func NewSim(cfg Config) (*Sim, error) { return core.New(cfg) }
+
+// Trace generator configurations.
+type (
+	// NUSTraceConfig parameterizes the campus-schedule (classroom
+	// clique) generator.
+	NUSTraceConfig = tracegen.NUSConfig
+	// DieselTraceConfig parameterizes the bus (pairwise contact)
+	// generator.
+	DieselTraceConfig = tracegen.DieselConfig
+	// UniformTraceConfig parameterizes the structure-free random
+	// generator.
+	UniformTraceConfig = tracegen.UniformConfig
+	// WaypointTraceConfig parameterizes the cell-based random-waypoint
+	// mobility generator.
+	WaypointTraceConfig = tracegen.WaypointConfig
+)
+
+// DefaultNUSTrace returns the laptop-scale NUS-style configuration.
+func DefaultNUSTrace() NUSTraceConfig { return tracegen.DefaultNUS() }
+
+// DefaultDieselTrace returns the DieselNet-style configuration.
+func DefaultDieselTrace() DieselTraceConfig { return tracegen.DefaultDiesel() }
+
+// DefaultUniformTrace returns the random-trace configuration.
+func DefaultUniformTrace() UniformTraceConfig { return tracegen.DefaultUniform() }
+
+// NUSTrace generates an NUS-style classroom-clique contact trace.
+func NUSTrace(cfg NUSTraceConfig) (*Trace, error) { return tracegen.NUS(cfg) }
+
+// DieselTrace generates a DieselNet-style pairwise contact trace.
+func DieselTrace(cfg DieselTraceConfig) (*Trace, error) { return tracegen.Diesel(cfg) }
+
+// UniformTrace generates a structure-free random contact trace.
+func UniformTrace(cfg UniformTraceConfig) (*Trace, error) { return tracegen.Uniform(cfg) }
+
+// DefaultWaypointTrace returns the random-waypoint configuration.
+func DefaultWaypointTrace() WaypointTraceConfig { return tracegen.DefaultWaypoint() }
+
+// WaypointTrace generates a cell-based random-waypoint mobility trace.
+func WaypointTrace(cfg WaypointTraceConfig) (*Trace, error) { return tracegen.Waypoint(cfg) }
+
+// Experiment harness re-exports: every figure panel of the paper's
+// evaluation as a runnable parameter sweep.
+type (
+	// Experiment declares one figure panel.
+	Experiment = experiment.Definition
+	// ExperimentOptions tunes a sweep (seed, test scale).
+	ExperimentOptions = experiment.Options
+	// ExperimentSeries is a reproduced panel: points by x, ratios by
+	// protocol.
+	ExperimentSeries = experiment.Series
+)
+
+// Experiments returns all figure panels in paper order.
+func Experiments() []Experiment { return experiment.Definitions() }
+
+// LookupExperiment finds a panel by id (e.g. "fig3a").
+func LookupExperiment(id string) (Experiment, error) { return experiment.Lookup(id) }
+
+// RunExperiment executes one panel sweep.
+func RunExperiment(def Experiment, opts ExperimentOptions) (*ExperimentSeries, error) {
+	return experiment.Run(def, opts)
+}

@@ -1,0 +1,133 @@
+// Package choke implements the paper's footnote future-work item (§IV-B,
+// footnote 1): "Peers can still be choked if encryption is used."
+//
+// On a broadcast medium a free-rider overhears every transmission, so the
+// credit mechanism alone can only delay it, never exclude it. With
+// encryption the sender broadcasts ciphertext and hands the content key
+// only to peers it does not choke — peers whose credit meets a threshold
+// (or who are bootstrapping, see the optimistic unchoke below). Choked
+// peers receive bytes they cannot use.
+//
+// The scheme is deliberately simple and stdlib-only: each broadcast is
+// encrypted with a fresh per-message key using a SHA-256-based keystream
+// (CTR-style), and the key is delivered per-receiver. The cryptography
+// models the mechanism faithfully for simulation; a deployment would use
+// AEAD and a real key exchange.
+package choke
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/credit"
+	"repro/internal/trace"
+)
+
+// Key is a symmetric content key.
+type Key [32]byte
+
+// NewKey derives a fresh per-message key from a seed and a message
+// counter (deterministic for reproducible simulations).
+func NewKey(seed []byte, counter uint64) Key {
+	mac := hmac.New(sha256.New, seed)
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	mac.Write(c[:])
+	var k Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// keystreamBlock derives 32 keystream bytes for a block index.
+func keystreamBlock(k Key, block uint64) [sha256.Size]byte {
+	var buf [sha256.Size + 8]byte
+	copy(buf[:], k[:])
+	binary.BigEndian.PutUint64(buf[sha256.Size:], block)
+	return sha256.Sum256(buf[:])
+}
+
+// Encrypt XORs data with the key's keystream. Encrypt and Decrypt are the
+// same operation.
+func Encrypt(k Key, data []byte) []byte {
+	out := make([]byte, len(data))
+	for i := 0; i < len(data); i += sha256.Size {
+		ks := keystreamBlock(k, uint64(i/sha256.Size))
+		for j := 0; j < sha256.Size && i+j < len(data); j++ {
+			out[i+j] = data[i+j] ^ ks[j]
+		}
+	}
+	return out
+}
+
+// Decrypt reverses Encrypt.
+func Decrypt(k Key, data []byte) []byte { return Encrypt(k, data) }
+
+// Policy decides which peers are unchoked (receive content keys).
+type Policy struct {
+	// MinCredit is the credit a peer needs to be unchoked.
+	MinCredit float64
+	// OptimisticEvery unchokes one zero-credit peer every n-th decision
+	// round (0 disables). BitTorrent's optimistic unchoke: without it,
+	// newcomers can never earn their first credit.
+	OptimisticEvery int
+
+	rounds int
+}
+
+// Unchoked returns the subset of peers that receive the content key,
+// judged by the sender's ledger. The optimistic slot (when due) goes to
+// the lowest-ID peer below the threshold, so every newcomer is
+// eventually bootstrapped.
+func (p *Policy) Unchoked(ledger *credit.Ledger, peers []trace.NodeID) []trace.NodeID {
+	p.rounds++
+	var out []trace.NodeID
+	var choked []trace.NodeID
+	for _, peer := range peers {
+		if ledger.Credit(peer) >= p.MinCredit {
+			out = append(out, peer)
+		} else {
+			choked = append(choked, peer)
+		}
+	}
+	if p.OptimisticEvery > 0 && len(choked) > 0 && p.rounds%p.OptimisticEvery == 0 {
+		min := choked[0]
+		for _, peer := range choked[1:] {
+			if peer < min {
+				min = peer
+			}
+		}
+		out = append(out, min)
+	}
+	return out
+}
+
+// Broadcast models one encrypted transmission: ciphertext everyone hears
+// plus the key delivered to the unchoked set.
+type Broadcast struct {
+	Ciphertext []byte
+	// KeyFor maps unchoked receivers to the content key.
+	KeyFor map[trace.NodeID]Key
+}
+
+// Seal encrypts data and issues the key to the unchoked receivers.
+func Seal(k Key, data []byte, unchoked []trace.NodeID) *Broadcast {
+	b := &Broadcast{
+		Ciphertext: Encrypt(k, data),
+		KeyFor:     make(map[trace.NodeID]Key, len(unchoked)),
+	}
+	for _, id := range unchoked {
+		b.KeyFor[id] = k
+	}
+	return b
+}
+
+// Open returns the plaintext for a receiver, or (nil, false) if the
+// receiver was choked.
+func (b *Broadcast) Open(receiver trace.NodeID) ([]byte, bool) {
+	k, ok := b.KeyFor[receiver]
+	if !ok {
+		return nil, false
+	}
+	return Decrypt(k, b.Ciphertext), true
+}

@@ -1,0 +1,146 @@
+package choke
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/credit"
+	"repro/internal/trace"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := NewKey([]byte("seed"), 1)
+	data := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	ct := Encrypt(k, data)
+	if bytes.Equal(ct, data) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := Decrypt(k, ct); !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+}
+
+func TestWrongKeyGarbles(t *testing.T) {
+	data := []byte("secret content")
+	ct := Encrypt(NewKey([]byte("seed"), 1), data)
+	if got := Decrypt(NewKey([]byte("seed"), 2), ct); bytes.Equal(got, data) {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestKeysDifferPerCounter(t *testing.T) {
+	a := NewKey([]byte("s"), 1)
+	b := NewKey([]byte("s"), 2)
+	if a == b {
+		t.Fatal("counter does not vary the key")
+	}
+	c := NewKey([]byte("other"), 1)
+	if a == c {
+		t.Fatal("seed does not vary the key")
+	}
+}
+
+func TestEncryptRoundTripProperty(t *testing.T) {
+	f := func(seed []byte, counter uint64, data []byte) bool {
+		k := NewKey(seed, counter)
+		return bytes.Equal(Decrypt(k, Encrypt(k, data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDataRoundTrip(t *testing.T) {
+	k := NewKey([]byte("s"), 0)
+	if got := Encrypt(k, nil); len(got) != 0 {
+		t.Fatalf("Encrypt(nil) = %v", got)
+	}
+}
+
+func TestPolicyThreshold(t *testing.T) {
+	ledger := credit.NewLedger()
+	ledger.RewardRequested(1) // credit 5
+	p := &Policy{MinCredit: 1}
+	got := p.Unchoked(ledger, []trace.NodeID{1, 2, 3})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Unchoked = %v, want [1]", got)
+	}
+}
+
+func TestPolicyOptimisticUnchoke(t *testing.T) {
+	ledger := credit.NewLedger()
+	p := &Policy{MinCredit: 1, OptimisticEvery: 3}
+	peers := []trace.NodeID{5, 2, 9}
+	var optimistic int
+	for round := 1; round <= 9; round++ {
+		got := p.Unchoked(ledger, peers)
+		if round%3 == 0 {
+			if len(got) != 1 || got[0] != 2 {
+				t.Fatalf("round %d: optimistic slot = %v, want lowest ID 2", round, got)
+			}
+			optimistic++
+		} else if len(got) != 0 {
+			t.Fatalf("round %d: unchoked %v without credit", round, got)
+		}
+	}
+	if optimistic != 3 {
+		t.Fatalf("optimistic unchokes = %d, want 3", optimistic)
+	}
+}
+
+func TestPolicyOptimisticDisabled(t *testing.T) {
+	ledger := credit.NewLedger()
+	p := &Policy{MinCredit: 1}
+	for round := 0; round < 10; round++ {
+		if got := p.Unchoked(ledger, []trace.NodeID{1}); len(got) != 0 {
+			t.Fatalf("unchoked %v with optimism disabled", got)
+		}
+	}
+}
+
+func TestSealAndOpen(t *testing.T) {
+	k := NewKey([]byte("s"), 1)
+	data := []byte("piece content")
+	b := Seal(k, data, []trace.NodeID{1, 3})
+
+	got, ok := b.Open(1)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("unchoked receiver failed to open: %v %v", got, ok)
+	}
+	if _, ok := b.Open(2); ok {
+		t.Fatal("choked receiver opened the broadcast")
+	}
+	// The choked receiver's view (raw ciphertext) is not the plaintext.
+	if bytes.Equal(b.Ciphertext, data) {
+		t.Fatal("broadcast carries plaintext")
+	}
+}
+
+func TestChokedFreeRiderStarvesUntilOptimistic(t *testing.T) {
+	// End-to-end: a contributor earns credit and is served; a free-rider
+	// only ever gets the optimistic slot.
+	sender := credit.NewLedger()
+	sender.RewardRequested(1) // peer 1 contributed before
+
+	policy := &Policy{MinCredit: 1, OptimisticEvery: 4}
+	data := []byte("content")
+	riderOpens, contributorOpens := 0, 0
+	for round := 0; round < 8; round++ {
+		k := NewKey([]byte("session"), uint64(round))
+		unchoked := policy.Unchoked(sender, []trace.NodeID{1, 2})
+		b := Seal(k, data, unchoked)
+		if _, ok := b.Open(1); ok {
+			contributorOpens++
+		}
+		if _, ok := b.Open(2); ok {
+			riderOpens++
+		}
+	}
+	if contributorOpens != 8 {
+		t.Fatalf("contributor opened %d/8", contributorOpens)
+	}
+	if riderOpens != 2 {
+		t.Fatalf("free-rider opened %d/8, want only the 2 optimistic slots", riderOpens)
+	}
+}

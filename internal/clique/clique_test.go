@@ -1,0 +1,237 @@
+package clique
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// adjFromEdges builds a symmetric adjacency from an edge list.
+func adjFromEdges(vertices []trace.NodeID, edges [][2]trace.NodeID) map[trace.NodeID][]trace.NodeID {
+	adj := make(map[trace.NodeID][]trace.NodeID)
+	for _, v := range vertices {
+		adj[v] = nil
+	}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+func TestTriangle(t *testing.T) {
+	adj := adjFromEdges([]trace.NodeID{0, 1, 2},
+		[][2]trace.NodeID{{0, 1}, {1, 2}, {0, 2}})
+	got := MaximalCliques(adj)
+	want := [][]trace.NodeID{{0, 1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+}
+
+func TestPath(t *testing.T) {
+	adj := adjFromEdges([]trace.NodeID{0, 1, 2},
+		[][2]trace.NodeID{{0, 1}, {1, 2}})
+	got := MaximalCliques(adj)
+	want := [][]trace.NodeID{{0, 1}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	adj := adjFromEdges([]trace.NodeID{0, 1, 2}, [][2]trace.NodeID{{0, 1}})
+	got := MaximalCliques(adj)
+	want := [][]trace.NodeID{{0, 1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+}
+
+func TestTwoTrianglesSharingVertex(t *testing.T) {
+	adj := adjFromEdges([]trace.NodeID{0, 1, 2, 3, 4},
+		[][2]trace.NodeID{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	got := MaximalCliques(adj)
+	want := [][]trace.NodeID{{0, 1, 2}, {2, 3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+}
+
+func TestCompleteGraphK5(t *testing.T) {
+	var vertices []trace.NodeID
+	var edges [][2]trace.NodeID
+	for i := trace.NodeID(0); i < 5; i++ {
+		vertices = append(vertices, i)
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]trace.NodeID{i, j})
+		}
+	}
+	got := MaximalCliques(adjFromEdges(vertices, edges))
+	if len(got) != 1 || len(got[0]) != 5 {
+		t.Fatalf("K5 cliques = %v", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if got := MaximalCliques(nil); got != nil {
+		t.Fatalf("cliques of empty graph = %v", got)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	adj := map[trace.NodeID][]trace.NodeID{
+		0: {0, 1},
+		1: {0, 1},
+	}
+	got := MaximalCliques(adj)
+	want := [][]trace.NodeID{{0, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+}
+
+// isClique verifies all pairs in c are adjacent.
+func isClique(adj map[trace.NodeID]map[trace.NodeID]bool, c []trace.NodeID) bool {
+	for i, a := range c {
+		for _, b := range c[i+1:] {
+			if !adj[a][b] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isMaximal verifies no vertex outside c is adjacent to every member.
+func isMaximal(adj map[trace.NodeID]map[trace.NodeID]bool, c []trace.NodeID) bool {
+	members := make(map[trace.NodeID]bool, len(c))
+	for _, v := range c {
+		members[v] = true
+	}
+	for v := range adj {
+		if members[v] {
+			continue
+		}
+		all := true
+		for _, m := range c {
+			if !adj[v][m] {
+				all = false
+				break
+			}
+		}
+		if all && len(c) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropertyCliquesAreMaximalCliques(t *testing.T) {
+	f := func(seed uint64, size uint8, density uint8) bool {
+		n := 2 + int(size%10)
+		p := float64(density%100) / 100
+		r := rng.New(seed)
+		adjSet := make(map[trace.NodeID]map[trace.NodeID]bool, n)
+		adjList := make(map[trace.NodeID][]trace.NodeID, n)
+		for i := 0; i < n; i++ {
+			adjSet[trace.NodeID(i)] = make(map[trace.NodeID]bool)
+			adjList[trace.NodeID(i)] = nil
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bool(p) {
+					a, b := trace.NodeID(i), trace.NodeID(j)
+					adjSet[a][b], adjSet[b][a] = true, true
+					adjList[a] = append(adjList[a], b)
+					adjList[b] = append(adjList[b], a)
+				}
+			}
+		}
+		cliques := MaximalCliques(adjList)
+		// Every vertex appears in at least one clique.
+		covered := make(map[trace.NodeID]bool)
+		for _, c := range cliques {
+			if !isClique(adjSet, c) || !isMaximal(adjSet, c) {
+				return false
+			}
+			for _, v := range c {
+				covered[v] = true
+			}
+		}
+		return len(covered) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContaining(t *testing.T) {
+	cliques := [][]trace.NodeID{{0, 1}, {1, 2}, {3}}
+	got := Containing(cliques, 1)
+	want := [][]trace.NodeID{{0, 1}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Containing = %v, want %v", got, want)
+	}
+	if got := Containing(cliques, 9); got != nil {
+		t.Fatalf("Containing(9) = %v, want nil", got)
+	}
+}
+
+func TestCoordinator(t *testing.T) {
+	if got := Coordinator([]trace.NodeID{5, 2, 9}); got != 2 {
+		t.Fatalf("Coordinator = %v, want 2", got)
+	}
+	if got := Coordinator(nil); got != -1 {
+		t.Fatalf("Coordinator(nil) = %v, want -1", got)
+	}
+}
+
+func TestCyclicOrderDeterministicAndPermutation(t *testing.T) {
+	members := []trace.NodeID{4, 9, 1, 7}
+	a := CyclicOrder(members)
+	b := CyclicOrder([]trace.NodeID{9, 1, 7, 4}) // order-insensitive input
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cyclic order depends on input order: %v vs %v", a, b)
+	}
+	seen := make(map[trace.NodeID]bool)
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range members {
+		if !seen[v] {
+			t.Fatalf("member %v missing from order %v", v, a)
+		}
+	}
+	if len(a) != len(members) {
+		t.Fatalf("order %v has wrong length", a)
+	}
+}
+
+func TestCyclicOrderDiffersAcrossCliques(t *testing.T) {
+	// Different member sets (different ID sums) should usually shuffle
+	// differently; check that at least one of several differs from the
+	// sorted order so the shuffle demonstrably does something.
+	shuffled := false
+	for base := trace.NodeID(0); base < 20; base += 4 {
+		members := []trace.NodeID{base, base + 1, base + 2, base + 3}
+		order := CyclicOrder(members)
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				shuffled = true
+			}
+		}
+	}
+	if !shuffled {
+		t.Fatal("cyclic order never deviates from sorted order")
+	}
+}
+
+func TestCyclicOrderEmpty(t *testing.T) {
+	if got := CyclicOrder(nil); len(got) != 0 {
+		t.Fatalf("CyclicOrder(nil) = %v", got)
+	}
+}

@@ -1,0 +1,66 @@
+// Package credit implements the tit-for-tat credit mechanism of §IV-B and
+// §V-B: each node u maintains a credit value for every other node v,
+// proportional to the useful data u received from v. When u decides what
+// to broadcast, it weighs each candidate item by the summed credit of the
+// nodes requesting it, so contributors receive their desired data earlier
+// while free-riders' requests carry little weight.
+package credit
+
+import "repro/internal/trace"
+
+// RequestedReward is the credit granted for delivering an item the
+// receiver had requested (the paper's example value: 5).
+const RequestedReward = 5.0
+
+// Ledger tracks the credit one node assigns to its peers. The zero value
+// is not usable; construct with NewLedger.
+type Ledger struct {
+	credits map[trace.NodeID]float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{credits: make(map[trace.NodeID]float64)}
+}
+
+// Credit returns the current credit of peer. Unknown peers have zero
+// credit.
+func (l *Ledger) Credit(peer trace.NodeID) float64 { return l.credits[peer] }
+
+// RewardRequested credits peer for delivering an item this node had
+// requested (+RequestedReward).
+func (l *Ledger) RewardRequested(peer trace.NodeID) {
+	l.credits[peer] += RequestedReward
+}
+
+// RewardUnrequested credits peer for delivering a new item this node had
+// not requested; the reward equals the item's global popularity, so
+// pushing popular content still earns standing.
+func (l *Ledger) RewardUnrequested(peer trace.NodeID, popularity float64) {
+	if popularity < 0 {
+		popularity = 0
+	}
+	l.credits[peer] += popularity
+}
+
+// WeightRequest returns the weight of a request set: the summed credit of
+// the requesting nodes. Requests from zero-credit peers weigh zero.
+func (l *Ledger) WeightRequest(requesters []trace.NodeID) float64 {
+	total := 0.0
+	for _, p := range requesters {
+		total += l.credits[p]
+	}
+	return total
+}
+
+// Peers returns the number of peers with recorded credit.
+func (l *Ledger) Peers() int { return len(l.credits) }
+
+// Snapshot returns a copy of the credit table for inspection.
+func (l *Ledger) Snapshot() map[trace.NodeID]float64 {
+	out := make(map[trace.NodeID]float64, len(l.credits))
+	for k, v := range l.credits {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package credit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestZeroCreditForUnknownPeer(t *testing.T) {
+	l := NewLedger()
+	if got := l.Credit(3); got != 0 {
+		t.Fatalf("Credit(3) = %v, want 0", got)
+	}
+	if l.Peers() != 0 {
+		t.Fatalf("Peers = %d, want 0", l.Peers())
+	}
+}
+
+func TestRewardRequested(t *testing.T) {
+	l := NewLedger()
+	l.RewardRequested(1)
+	l.RewardRequested(1)
+	if got := l.Credit(1); got != 2*RequestedReward {
+		t.Fatalf("Credit = %v, want %v", got, 2*RequestedReward)
+	}
+}
+
+func TestRewardUnrequestedUsesPopularity(t *testing.T) {
+	l := NewLedger()
+	l.RewardUnrequested(2, 0.3)
+	l.RewardUnrequested(2, 0.2)
+	if got := l.Credit(2); got != 0.5 {
+		t.Fatalf("Credit = %v, want 0.5", got)
+	}
+}
+
+func TestRewardUnrequestedClampsNegative(t *testing.T) {
+	l := NewLedger()
+	l.RewardUnrequested(2, -1)
+	if got := l.Credit(2); got != 0 {
+		t.Fatalf("negative popularity changed credit: %v", got)
+	}
+}
+
+func TestRequestedOutweighsUnrequested(t *testing.T) {
+	// A requested delivery must always beat an unrequested one, since
+	// popularity <= 1 < RequestedReward.
+	l := NewLedger()
+	l.RewardRequested(1)
+	l.RewardUnrequested(2, 1)
+	if l.Credit(1) <= l.Credit(2) {
+		t.Fatal("requested delivery did not earn more than unrequested")
+	}
+}
+
+func TestWeightRequest(t *testing.T) {
+	l := NewLedger()
+	l.RewardRequested(1)        // 5
+	l.RewardUnrequested(2, 0.5) // 0.5
+	tests := []struct {
+		requesters []trace.NodeID
+		want       float64
+	}{
+		{nil, 0},
+		{[]trace.NodeID{1}, 5},
+		{[]trace.NodeID{1, 2}, 5.5},
+		{[]trace.NodeID{3}, 0},
+		{[]trace.NodeID{1, 1}, 10}, // duplicates count twice; callers pass sets
+	}
+	for _, tt := range tests {
+		if got := l.WeightRequest(tt.requesters); got != tt.want {
+			t.Errorf("WeightRequest(%v) = %v, want %v", tt.requesters, got, tt.want)
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	l := NewLedger()
+	l.RewardRequested(1)
+	snap := l.Snapshot()
+	snap[1] = 999
+	if l.Credit(1) == 999 {
+		t.Fatal("snapshot aliases ledger state")
+	}
+}
+
+func TestCreditMonotonicProperty(t *testing.T) {
+	// Credits never decrease: every reward keeps each peer's credit
+	// non-decreasing.
+	f := func(events []bool, pops []float64) bool {
+		l := NewLedger()
+		prev := 0.0
+		for i, requested := range events {
+			if requested {
+				l.RewardRequested(7)
+			} else {
+				p := 0.5
+				if i < len(pops) {
+					p = pops[i]
+				}
+				l.RewardUnrequested(7, p)
+			}
+			cur := l.Credit(7)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

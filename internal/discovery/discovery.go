@@ -1,0 +1,305 @@
+// Package discovery implements cooperative file discovery (§IV): the
+// broadcast exchange of metadata within a clique of connected nodes.
+//
+// Each contact's discovery phase sends at most Budget metadata broadcasts.
+// In the cooperative case the order is the paper's two-phase rule:
+//
+//	Phase 1: metadata matching the queries of connected nodes, those
+//	         matching more nodes first, ties by decreasing popularity.
+//	Phase 2: remaining metadata in decreasing popularity.
+//
+// With query distribution enabled (the full MBT protocol), a node's
+// demand includes the cached queries of its frequent contacts, so nodes
+// collect metadata on behalf of peers they meet often. In the tit-for-tat
+// case senders take turns in the clique's agreed cyclic order and each
+// weighs candidate metadata by the summed credit of the requesting nodes.
+package discovery
+
+import (
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Config controls one discovery exchange.
+type Config struct {
+	// Budget is the number of metadata broadcasts this contact may use.
+	Budget int
+	// QueryDistribution includes frequent-contact queries in each node's
+	// demand (MBT); without it nodes pull only for their own queries
+	// (MBT-Q).
+	QueryDistribution bool
+	// TitForTat switches from the cooperative coordinator ordering to
+	// credit-weighted sending in cyclic order (§IV-B).
+	TitForTat bool
+	// PopularityOnly disables the two-phase request-aware ordering and
+	// sends strictly by decreasing popularity — the ablation baseline
+	// for the paper's phase-1 rule. Ignored under TitForTat.
+	PopularityOnly bool
+	// Loss is the per-receiver probability that a broadcast is not
+	// decoded (lossy wireless). Requires Rng when positive.
+	Loss float64
+	// Rng drives loss draws; runs are deterministic given its state.
+	Rng *rng.Rand
+}
+
+// dropped reports whether one receiver loses the current broadcast.
+func (c Config) dropped() bool {
+	return c.Loss > 0 && c.Rng != nil && c.Rng.Bool(c.Loss)
+}
+
+// Event records one metadata broadcast.
+type Event struct {
+	// Meta is the broadcast record.
+	Meta *metadata.Metadata
+	// Popularity is the advisory popularity sent along.
+	Popularity float64
+	// Sender transmitted the record.
+	Sender trace.NodeID
+	// NewReceivers stored the record for the first time.
+	NewReceivers []trace.NodeID
+	// MatchedOwn lists new receivers whose own active query matches the
+	// record — a metadata delivery in the paper's metric.
+	MatchedOwn []trace.NodeID
+}
+
+// Exchange runs the discovery phase of one contact among members and
+// returns the broadcasts performed. Member state (stores, ledgers) is
+// updated in place.
+func Exchange(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	if cfg.Budget <= 0 || len(members) < 2 {
+		return nil
+	}
+	if cfg.TitForTat {
+		return exchangeTFT(now, members, cfg)
+	}
+	return exchangeCooperative(now, members, cfg)
+}
+
+// demandFor returns the queries a member pulls for: its own, plus cached
+// frequent-contact queries when query distribution is on.
+func demandFor(now simtime.Time, n *node.Node, cfg Config) []string {
+	qs := n.Queries(now)
+	if cfg.QueryDistribution {
+		qs = append(qs, n.PeerQueries(now)...)
+	}
+	return qs
+}
+
+// candidate is a metadata record some member holds and some member lacks.
+type candidate struct {
+	sm      *node.StoredMetadata
+	holders []*node.Node
+	lackers []*node.Node
+	// requesters are lackers whose demand matches; ownMatch are lackers
+	// whose own queries match (the delivery metric only counts those);
+	// ownCount is how many lackers match with their own queries.
+	requesters []*node.Node
+	ownMatch   map[trace.NodeID]bool
+	ownCount   int
+}
+
+// collectCandidates builds the candidate set for the clique.
+func collectCandidates(now simtime.Time, members []*node.Node, cfg Config) []*candidate {
+	byURI := make(map[metadata.URI]*candidate)
+	for _, m := range members {
+		for _, sm := range m.MetadataStore() {
+			if sm.Meta.Expired(now) {
+				continue
+			}
+			c := byURI[sm.Meta.URI]
+			if c == nil {
+				c = &candidate{sm: sm, ownMatch: make(map[trace.NodeID]bool)}
+				byURI[sm.Meta.URI] = c
+			} else if sm.Popularity > c.sm.Popularity {
+				c.sm = sm
+			}
+			c.holders = append(c.holders, m)
+		}
+	}
+	var out []*candidate
+	for _, c := range byURI {
+		for _, m := range members {
+			if m.HasMetadata(c.sm.Meta.URI) {
+				continue
+			}
+			c.lackers = append(c.lackers, m)
+			demands := demandFor(now, m, cfg)
+			for _, q := range demands {
+				if c.sm.Meta.MatchesQuery(q) {
+					c.requesters = append(c.requesters, m)
+					break
+				}
+			}
+			for _, q := range m.Queries(now) {
+				if c.sm.Meta.MatchesQuery(q) {
+					c.ownMatch[m.ID] = true
+					c.ownCount++
+					break
+				}
+			}
+		}
+		if len(c.lackers) > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sm.Meta.URI < out[j].sm.Meta.URI })
+	return out
+}
+
+// broadcast delivers c from sender to every lacker, updating stores,
+// credits and the event record.
+func broadcast(now simtime.Time, c *candidate, sender *node.Node, cfg Config) Event {
+	ev := Event{
+		Meta:       c.sm.Meta,
+		Popularity: c.sm.Popularity,
+		Sender:     sender.ID,
+	}
+	for _, m := range c.lackers {
+		if cfg.dropped() {
+			continue
+		}
+		if !m.AddMetadata(c.sm.Meta, c.sm.Popularity, now) {
+			continue
+		}
+		ev.NewReceivers = append(ev.NewReceivers, m.ID)
+		if c.ownMatch[m.ID] {
+			ev.MatchedOwn = append(ev.MatchedOwn, m.ID)
+			m.Ledger.RewardRequested(sender.ID)
+		} else {
+			m.Ledger.RewardUnrequested(sender.ID, c.sm.Popularity)
+		}
+	}
+	return ev
+}
+
+// exchangeCooperative is the altruistic two-phase ordering (§IV-A).
+func exchangeCooperative(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	cands := collectCandidates(now, members, cfg)
+	// Present members' own demand outranks carried (proxy) demand, so
+	// query distribution only ever spends leftover budget: it adds
+	// coverage for absent frequent contacts without displacing the
+	// deliveries this contact could make directly.
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if !cfg.PopularityOnly {
+			if a.ownCount != b.ownCount {
+				return a.ownCount > b.ownCount
+			}
+			if len(a.requesters) != len(b.requesters) {
+				return len(a.requesters) > len(b.requesters)
+			}
+		}
+		if a.sm.Popularity != b.sm.Popularity {
+			return a.sm.Popularity > b.sm.Popularity
+		}
+		return a.sm.Meta.URI < b.sm.Meta.URI
+	})
+	var events []Event
+	for _, c := range cands {
+		if len(events) >= cfg.Budget {
+			break
+		}
+		sender := pickSender(c.holders)
+		if sender == nil {
+			continue
+		}
+		if ev := broadcast(now, c, sender, cfg); len(ev.NewReceivers) > 0 {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// pickSender returns the lowest-ID holder willing to transmit.
+func pickSender(holders []*node.Node) *node.Node {
+	var best *node.Node
+	for _, h := range holders {
+		if h.FreeRider {
+			continue
+		}
+		if best == nil || h.ID < best.ID {
+			best = h
+		}
+	}
+	return best
+}
+
+// exchangeTFT is the selfish-tolerant variant (§IV-B): senders rotate in
+// the clique's deterministic cyclic order; each sender broadcasts the
+// record that maximizes the summed credit of its requesters (per the
+// sender's own ledger), falling back to popularity pushes.
+func exchangeTFT(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	ids := make([]trace.NodeID, len(members))
+	byID := make(map[trace.NodeID]*node.Node, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+		byID[m.ID] = m
+	}
+	order := clique.CyclicOrder(ids)
+
+	var events []Event
+	sent := make(map[metadata.URI]bool)
+	idle := 0
+	for turn := 0; len(events) < cfg.Budget && idle < len(order); turn++ {
+		sender := byID[order[turn%len(order)]]
+		if sender.FreeRider {
+			idle++
+			continue
+		}
+		c := bestForSender(now, members, sender, sent, cfg)
+		if c == nil {
+			idle++
+			continue
+		}
+		idle = 0
+		sent[c.sm.Meta.URI] = true
+		if ev := broadcast(now, c, sender, cfg); len(ev.NewReceivers) > 0 {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// bestForSender returns the sender's best candidate it actually holds:
+// highest summed requester credit, then popularity, then URI.
+func bestForSender(now simtime.Time, members []*node.Node, sender *node.Node,
+	sent map[metadata.URI]bool, cfg Config) *candidate {
+	cands := collectCandidates(now, members, cfg)
+	var best *candidate
+	var bestWeight float64
+	for _, c := range cands {
+		if sent[c.sm.Meta.URI] || !sender.HasMetadata(c.sm.Meta.URI) {
+			continue
+		}
+		var requesterIDs []trace.NodeID
+		for _, r := range c.requesters {
+			requesterIDs = append(requesterIDs, r.ID)
+		}
+		weight := sender.Ledger.WeightRequest(requesterIDs)
+		if best == nil || better(weight, c, bestWeight, best) {
+			best, bestWeight = c, weight
+		}
+	}
+	return best
+}
+
+// better orders candidates for a selfish sender: summed requester credit
+// first, then popularity, then URI. Requests from zero-credit peers add
+// nothing — that is the incentive: a sender gains standing by serving
+// proven contributors or by pushing popular records, never by serving
+// free-riders.
+func better(w float64, c *candidate, bw float64, b *candidate) bool {
+	if w != bw {
+		return w > bw
+	}
+	if c.sm.Popularity != b.sm.Popularity {
+		return c.sm.Popularity > b.sm.Popularity
+	}
+	return c.sm.Meta.URI < b.sm.Meta.URI
+}

@@ -1,0 +1,270 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+var key = []byte("k")
+
+func makeMeta(id metadata.FileID, name string) *metadata.Metadata {
+	return metadata.NewSynthetic(id, name, "FOX", "desc", 1024, 256,
+		0, simtime.Days(3), key)
+}
+
+func expiry() simtime.Time { return simtime.Time(simtime.Days(3)) }
+
+func TestExchangeDeliversRequestedMetadata(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz night")
+	a.AddMetadata(m, 0.5, 0)
+	b.AddQuery("jazz", expiry())
+
+	events := Exchange(0, []*node.Node{a, b}, Config{Budget: 5})
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Sender != 0 || len(ev.NewReceivers) != 1 || ev.NewReceivers[0] != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.MatchedOwn) != 1 || ev.MatchedOwn[0] != 1 {
+		t.Fatalf("MatchedOwn = %v", ev.MatchedOwn)
+	}
+	if !b.HasMetadata(m.URI) {
+		t.Fatal("receiver did not store metadata")
+	}
+}
+
+func TestBudgetLimitsBroadcasts(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	for i := 0; i < 10; i++ {
+		a.AddMetadata(makeMeta(metadata.FileID(i), "show"), 0.5, 0)
+	}
+	events := Exchange(0, []*node.Node{a, b}, Config{Budget: 3})
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+}
+
+func TestZeroBudgetOrSingleton(t *testing.T) {
+	a := node.New(0, false)
+	a.AddMetadata(makeMeta(1, "x"), 0.5, 0)
+	if ev := Exchange(0, []*node.Node{a, node.New(1, false)}, Config{}); ev != nil {
+		t.Fatalf("zero budget sent %v", ev)
+	}
+	if ev := Exchange(0, []*node.Node{a}, Config{Budget: 5}); ev != nil {
+		t.Fatalf("singleton clique sent %v", ev)
+	}
+}
+
+func TestPhaseOneRequestedBeforePopular(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	requested := makeMeta(1, "jazz wanted")
+	popular := makeMeta(2, "unrelated blockbuster")
+	a.AddMetadata(requested, 0.1, 0)
+	a.AddMetadata(popular, 0.99, 0)
+	b.AddQuery("jazz", expiry())
+
+	events := Exchange(0, []*node.Node{a, b}, Config{Budget: 1})
+	if len(events) != 1 || events[0].Meta.URI != requested.URI {
+		t.Fatalf("first broadcast = %+v, want the requested metadata", events)
+	}
+}
+
+func TestMoreRequestersFirst(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	c := node.New(2, false)
+	one := makeMeta(1, "solo interest")
+	two := makeMeta(2, "shared interest")
+	a.AddMetadata(one, 0.9, 0)
+	a.AddMetadata(two, 0.1, 0)
+	b.AddQuery("solo", expiry())
+	b.AddQuery("shared", expiry())
+	c.AddQuery("shared", expiry())
+
+	events := Exchange(0, []*node.Node{a, b, c}, Config{Budget: 1})
+	if len(events) != 1 || events[0].Meta.URI != two.URI {
+		t.Fatalf("first broadcast = %+v, want the doubly requested record", events)
+	}
+}
+
+func TestPhaseTwoPopularityOrder(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	low := makeMeta(1, "low")
+	high := makeMeta(2, "high")
+	a.AddMetadata(low, 0.2, 0)
+	a.AddMetadata(high, 0.8, 0)
+
+	events := Exchange(0, []*node.Node{a, b}, Config{Budget: 2})
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Meta.URI != high.URI || events[1].Meta.URI != low.URI {
+		t.Fatalf("push order wrong: %v then %v", events[0].Meta.URI, events[1].Meta.URI)
+	}
+}
+
+func TestQueryDistributionIncludesProxyDemand(t *testing.T) {
+	// c cached the query of its frequent contact d (absent). a holds the
+	// matching metadata. With QueryDistribution, c's proxy demand raises
+	// the record into phase one; without it the record competes only by
+	// popularity.
+	build := func() (*node.Node, *node.Node, *metadata.Metadata) {
+		a := node.New(0, false)
+		c := node.New(2, false)
+		c.SetFrequent([]trace.NodeID{3})
+		c.LearnPeerQueries(3, []string{"jazz"}, expiry())
+		target := makeMeta(1, "jazz proxy target")
+		decoy := makeMeta(2, "decoy")
+		a.AddMetadata(target, 0.1, 0)
+		a.AddMetadata(decoy, 0.9, 0)
+		return a, c, target
+	}
+
+	a, c, target := build()
+	events := Exchange(0, []*node.Node{a, c}, Config{Budget: 1, QueryDistribution: true})
+	if len(events) != 1 || events[0].Meta.URI != target.URI {
+		t.Fatalf("MBT: first broadcast = %+v, want proxy-requested record", events)
+	}
+	if len(events[0].MatchedOwn) != 0 {
+		t.Fatal("proxy receipt wrongly counted as own delivery")
+	}
+
+	a, c, target = build()
+	events = Exchange(0, []*node.Node{a, c}, Config{Budget: 1})
+	if len(events) != 1 || events[0].Meta.URI == target.URI {
+		t.Fatalf("MBT-Q: first broadcast = %+v, want the popular decoy", events)
+	}
+	_ = c
+}
+
+func TestNoRebroadcastToHolders(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	a.AddMetadata(m, 0.5, 0)
+	b.AddMetadata(m, 0.5, 0)
+	if events := Exchange(0, []*node.Node{a, b}, Config{Budget: 5}); len(events) != 0 {
+		t.Fatalf("rebroadcast to universal holders: %v", events)
+	}
+}
+
+func TestExpiredMetadataNotSent(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	a.AddMetadata(m, 0.5, 0)
+	now := simtime.Time(simtime.Days(3)) // at TTL
+	if events := Exchange(now, []*node.Node{a, b}, Config{Budget: 5}); len(events) != 0 {
+		t.Fatalf("expired metadata broadcast: %v", events)
+	}
+}
+
+func TestCreditsAwarded(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	c := node.New(2, false)
+	m := makeMeta(1, "jazz")
+	a.AddMetadata(m, 0.4, 0)
+	b.AddQuery("jazz", expiry())
+
+	Exchange(0, []*node.Node{a, b, c}, Config{Budget: 1})
+	if got := b.Ledger.Credit(0); got != 5 {
+		t.Fatalf("requester credit for sender = %v, want 5", got)
+	}
+	if got := c.Ledger.Credit(0); got != 0.4 {
+		t.Fatalf("bystander credit for sender = %v, want popularity 0.4", got)
+	}
+}
+
+func TestTFTSendsRequestedOfHighCreditPeerFirst(t *testing.T) {
+	sender := node.New(0, false)
+	rich := node.New(1, false)
+	poor := node.New(2, false)
+	// Sender owes rich a lot of credit.
+	for i := 0; i < 4; i++ {
+		sender.Ledger.RewardRequested(1)
+	}
+	forRich := makeMeta(1, "richwant")
+	forPoor := makeMeta(2, "poorwant")
+	sender.AddMetadata(forRich, 0.1, 0)
+	sender.AddMetadata(forPoor, 0.9, 0)
+	rich.AddQuery("richwant", expiry())
+	poor.AddQuery("poorwant", expiry())
+
+	events := Exchange(0, []*node.Node{sender, rich, poor},
+		Config{Budget: 1, TitForTat: true})
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Sender == 0 && events[0].Meta.URI != forRich.URI {
+		t.Fatalf("TFT sender 0 sent %v, want high-credit peer's request", events[0].Meta.URI)
+	}
+}
+
+func TestTFTFreeRiderDoesNotSendButReceives(t *testing.T) {
+	rider := node.New(0, false)
+	rider.FreeRider = true
+	giver := node.New(1, false)
+	hoard := makeMeta(1, "hoarded")
+	gift := makeMeta(2, "gift")
+	rider.AddMetadata(hoard, 0.9, 0)
+	giver.AddMetadata(gift, 0.5, 0)
+
+	events := Exchange(0, []*node.Node{rider, giver},
+		Config{Budget: 5, TitForTat: true})
+	for _, ev := range events {
+		if ev.Sender == 0 {
+			t.Fatalf("free-rider transmitted: %+v", ev)
+		}
+	}
+	if !rider.HasMetadata(gift.URI) {
+		t.Fatal("free-rider did not receive the broadcast")
+	}
+	if giver.HasMetadata(hoard.URI) {
+		t.Fatal("free-rider's hoard leaked without transmission")
+	}
+}
+
+func TestCooperativeSkipsFreeRiderHolders(t *testing.T) {
+	rider := node.New(0, false)
+	rider.FreeRider = true
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	rider.AddMetadata(m, 0.5, 0)
+	if events := Exchange(0, []*node.Node{rider, b}, Config{Budget: 5}); len(events) != 0 {
+		t.Fatalf("free-rider transmitted in cooperative mode: %v", events)
+	}
+}
+
+func TestDeterministicExchange(t *testing.T) {
+	build := func() []*node.Node {
+		a := node.New(0, false)
+		b := node.New(1, false)
+		for i := 0; i < 6; i++ {
+			a.AddMetadata(makeMeta(metadata.FileID(i), "show"), float64(i)/10, 0)
+		}
+		b.AddQuery("show", expiry())
+		return []*node.Node{a, b}
+	}
+	e1 := Exchange(0, build(), Config{Budget: 4})
+	e2 := Exchange(0, build(), Config{Budget: 4})
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Meta.URI != e2[i].Meta.URI || e1[i].Sender != e2[i].Sender {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

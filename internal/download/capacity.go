@@ -1,0 +1,36 @@
+package download
+
+// The paper argues (§V) that broadcast-based download scales with node
+// density while pair-wise transfer degrades: in a clique of n nodes that
+// must share the channel, one broadcast transmission serves the n-1 other
+// members, so the useful per-node receive capacity is (n-1)/n of the
+// channel rate; pair-wise transmission serves exactly one receiver per
+// slot, so each node receives 1/n of the channel rate on average.
+
+// BroadcastPerNodeCapacity returns the per-node receive capacity of
+// broadcast download in a clique of n nodes, as a fraction of channel
+// rate: (n-1)/n. n < 2 yields 0 — there is nobody to receive.
+func BroadcastPerNodeCapacity(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n-1) / float64(n)
+}
+
+// PairwisePerNodeCapacity returns the per-node receive capacity of
+// pair-wise download in a group of n nodes sharing the channel: 1/n.
+// n < 2 yields 0.
+func PairwisePerNodeCapacity(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1 / float64(n)
+}
+
+// CapacityGain returns the broadcast-over-pairwise capacity ratio, n-1.
+func CapacityGain(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n - 1)
+}

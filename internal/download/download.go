@@ -1,0 +1,367 @@
+// Package download implements broadcast-based file download (§V): within
+// a clique, exactly one node transmits a file piece at a time while every
+// other member receives it, so a single transmission can serve many
+// downloaders at once.
+//
+// In the cooperative case (§V-A) the clique's coordinator orders pieces in
+// two phases: pieces requested by more members first (ties by decreasing
+// file popularity), then unrequested pieces in decreasing popularity. In
+// the tit-for-tat case (§V-B) there is no coordinator — a selfish one
+// could bias the schedule — so members transmit in the agreed-upon cyclic
+// order, each weighing candidate pieces by the summed credit of their
+// requesters.
+//
+// With Config.PiggybackMetadata set, pieces travel with their file's
+// metadata, so a receiver can identify, verify and — if the file matches
+// one of its queries — discover it. That is the MBT-QM baseline's only
+// metadata channel (it has no standalone metadata distribution, like the
+// prior content-distribution systems the paper compares against); MBT and
+// MBT-Q leave it off and rely on the discovery phase instead.
+package download
+
+import (
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Config controls one download exchange.
+type Config struct {
+	// PieceBudget is the number of piece broadcasts this contact may use.
+	PieceBudget int
+	// TitForTat switches from coordinator scheduling to cyclic-order
+	// credit-weighted sending.
+	TitForTat bool
+	// PiggybackMetadata attaches the file's metadata to each piece
+	// broadcast. This is how MBT-QM — which has no standalone metadata
+	// distribution, like the prior content-distribution systems — lets
+	// receivers identify and verify content; MBT and MBT-Q distribute
+	// metadata exclusively through the discovery phase.
+	PiggybackMetadata bool
+	// Loss is the per-receiver probability that a broadcast is not
+	// decoded (lossy wireless). Requires Rng when positive.
+	Loss float64
+	// Rng drives loss draws; runs are deterministic given its state.
+	Rng *rng.Rand
+}
+
+// dropped reports whether one receiver loses the current broadcast.
+func (c Config) dropped() bool {
+	return c.Loss > 0 && c.Rng != nil && c.Rng.Bool(c.Loss)
+}
+
+// Event records one piece broadcast.
+type Event struct {
+	// URI identifies the file; Piece the piece index.
+	URI   metadata.URI
+	Piece int
+	// Sender transmitted the piece.
+	Sender trace.NodeID
+	// NewReceivers stored the piece for the first time.
+	NewReceivers []trace.NodeID
+	// Completed lists receivers whose wanted file became complete.
+	Completed []trace.NodeID
+	// MetaDelivered lists receivers who got the piggybacked metadata as
+	// new and whose own query matches it (a metadata delivery).
+	MetaDelivered []trace.NodeID
+}
+
+// pieceKey identifies one piece of one file.
+type pieceKey struct {
+	uri   metadata.URI
+	piece int
+}
+
+// candidate is a piece some member holds and some member lacks.
+type candidate struct {
+	key        pieceKey
+	total      int
+	popularity float64
+	meta       *node.StoredMetadata // richest holder-side metadata, may be nil
+	holders    []*node.Node
+	lackers    []*node.Node
+	requesters []*node.Node // lackers that want the file
+}
+
+// Exchange runs the download phase of one contact among members,
+// returning the broadcasts performed. Member state is updated in place.
+func Exchange(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	if cfg.PieceBudget <= 0 || len(members) < 2 {
+		return nil
+	}
+	if cfg.TitForTat {
+		return exchangeTFT(now, members, cfg)
+	}
+	return exchangeCoordinator(now, members, cfg)
+}
+
+// collectCandidates enumerates transferable pieces in the clique.
+func collectCandidates(now simtime.Time, members []*node.Node) []*candidate {
+	byKey := make(map[pieceKey]*candidate)
+	uris := make(map[metadata.URI]int) // uri -> piece total
+	for _, m := range members {
+		for _, sm := range m.MetadataStore() {
+			if !sm.Meta.Expired(now) {
+				uris[sm.Meta.URI] = sm.Meta.NumPieces()
+			}
+		}
+	}
+	// Pieces may also exist for files without any in-clique metadata
+	// (cached pushes); include them, totals from the piece sets.
+	for _, m := range members {
+		for _, uri := range pieceURIs(m) {
+			if _, ok := uris[uri]; !ok {
+				uris[uri] = m.Pieces(uri).Total()
+			}
+		}
+	}
+	for uri, total := range uris {
+		var sm *node.StoredMetadata
+		for _, m := range members {
+			if cur := m.Metadata(uri); cur != nil && !cur.Meta.Expired(now) {
+				if sm == nil || cur.Popularity > sm.Popularity {
+					sm = cur
+				}
+			}
+		}
+		pop := 0.0
+		if sm != nil {
+			pop = sm.Popularity
+		}
+		for i := 0; i < total; i++ {
+			key := pieceKey{uri: uri, piece: i}
+			var c *candidate
+			for _, m := range members {
+				ps := m.Pieces(uri)
+				if ps != nil && ps.Have(i) {
+					if c == nil {
+						c = &candidate{key: key, total: total, popularity: pop, meta: sm}
+						byKey[key] = c
+					}
+					c.holders = append(c.holders, m)
+				}
+			}
+			if c == nil {
+				continue
+			}
+			for _, m := range members {
+				ps := m.Pieces(uri)
+				if ps != nil && ps.Have(i) {
+					continue
+				}
+				c.lackers = append(c.lackers, m)
+				if ps != nil && ps.Want {
+					c.requesters = append(c.requesters, m)
+				}
+			}
+			if len(c.lackers) == 0 {
+				delete(byKey, key)
+			}
+		}
+	}
+	out := make([]*candidate, 0, len(byKey))
+	for _, c := range byKey {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.uri != out[j].key.uri {
+			return out[i].key.uri < out[j].key.uri
+		}
+		return out[i].key.piece < out[j].key.piece
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func pieceURIs(m *node.Node) []metadata.URI {
+	var out []metadata.URI
+	for _, uri := range m.PieceURIs() {
+		out = append(out, uri)
+	}
+	return out
+}
+
+// broadcast transmits c from sender to all lackers.
+func broadcast(now simtime.Time, c *candidate, sender *node.Node, cfg Config) Event {
+	ev := Event{URI: c.key.uri, Piece: c.key.piece, Sender: sender.ID}
+	// Prefer the sender's own metadata for the piggyback; fall back to
+	// the clique's best.
+	var sm *node.StoredMetadata
+	if cfg.PiggybackMetadata {
+		sm = sender.Metadata(c.key.uri)
+		if sm == nil {
+			sm = c.meta
+		}
+	}
+	// Choking (footnote-1 extension): a sender with a choke policy
+	// encrypts the broadcast and hands the content key only to unchoked
+	// peers; everyone else hears undecipherable bytes.
+	var unchoked map[trace.NodeID]bool
+	if sender.ChokePolicy != nil {
+		ids := make([]trace.NodeID, len(c.lackers))
+		for i, m := range c.lackers {
+			ids[i] = m.ID
+		}
+		unchoked = make(map[trace.NodeID]bool)
+		for _, id := range sender.ChokePolicy.Unchoked(sender.Ledger, ids) {
+			unchoked[id] = true
+		}
+	}
+	for _, m := range c.lackers {
+		if unchoked != nil && !unchoked[m.ID] {
+			continue
+		}
+		if cfg.dropped() {
+			continue
+		}
+		if sm != nil && m.AddMetadata(sm.Meta, sm.Popularity, now) {
+			for _, q := range m.Queries(now) {
+				if sm.Meta.MatchesQuery(q) {
+					ev.MetaDelivered = append(ev.MetaDelivered, m.ID)
+					break
+				}
+			}
+		}
+		if !m.AddPiece(c.key.uri, c.key.piece, c.total) {
+			continue
+		}
+		ev.NewReceivers = append(ev.NewReceivers, m.ID)
+		ps := m.Pieces(c.key.uri)
+		wanted := ps.Want
+		if wanted {
+			m.Ledger.RewardRequested(sender.ID)
+		} else {
+			m.Ledger.RewardUnrequested(sender.ID, c.popularity)
+		}
+		if wanted && ps.Complete() {
+			ev.Completed = append(ev.Completed, m.ID)
+		}
+	}
+	return ev
+}
+
+// exchangeCoordinator is the cooperative two-phase schedule (§V-A): the
+// coordinator (lowest ID, elected identically by every member) repeatedly
+// picks the piece requested by the most members, ties by popularity.
+func exchangeCoordinator(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	cands := collectCandidates(now, members)
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if len(a.requesters) != len(b.requesters) {
+			return len(a.requesters) > len(b.requesters)
+		}
+		if a.popularity != b.popularity {
+			return a.popularity > b.popularity
+		}
+		if a.key.uri != b.key.uri {
+			return a.key.uri < b.key.uri
+		}
+		return a.key.piece < b.key.piece
+	})
+	var events []Event
+	for _, c := range cands {
+		if len(events) >= cfg.PieceBudget {
+			break
+		}
+		sender := pickSender(c.holders)
+		if sender == nil {
+			continue
+		}
+		if ev := broadcast(now, c, sender, cfg); len(ev.NewReceivers) > 0 {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+func pickSender(holders []*node.Node) *node.Node {
+	var best *node.Node
+	for _, h := range holders {
+		if h.FreeRider {
+			continue
+		}
+		if best == nil || h.ID < best.ID {
+			best = h
+		}
+	}
+	return best
+}
+
+// exchangeTFT rotates senders in the deterministic cyclic order; each
+// sender broadcasts the piece maximizing the summed credit of its
+// requesters in the sender's own ledger.
+func exchangeTFT(now simtime.Time, members []*node.Node, cfg Config) []Event {
+	ids := make([]trace.NodeID, len(members))
+	byID := make(map[trace.NodeID]*node.Node, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+		byID[m.ID] = m
+	}
+	order := clique.CyclicOrder(ids)
+
+	var events []Event
+	idle := 0
+	for turn := 0; len(events) < cfg.PieceBudget && idle < len(order); turn++ {
+		sender := byID[order[turn%len(order)]]
+		if sender.FreeRider {
+			idle++
+			continue
+		}
+		c := bestForSender(now, members, sender)
+		if c == nil {
+			idle++
+			continue
+		}
+		idle = 0
+		if ev := broadcast(now, c, sender, cfg); len(ev.NewReceivers) > 0 {
+			events = append(events, ev)
+		} else {
+			idle++
+		}
+	}
+	return events
+}
+
+func bestForSender(now simtime.Time, members []*node.Node, sender *node.Node) *candidate {
+	cands := collectCandidates(now, members)
+	var best *candidate
+	var bestWeight float64
+	for _, c := range cands {
+		ps := sender.Pieces(c.key.uri)
+		if ps == nil || !ps.Have(c.key.piece) {
+			continue
+		}
+		var requesterIDs []trace.NodeID
+		for _, r := range c.requesters {
+			requesterIDs = append(requesterIDs, r.ID)
+		}
+		weight := sender.Ledger.WeightRequest(requesterIDs)
+		if best == nil || betterPiece(weight, c, bestWeight, best) {
+			best, bestWeight = c, weight
+		}
+	}
+	return best
+}
+
+// betterPiece orders pieces for a selfish sender: summed requester
+// credit, then popularity, then (URI, piece). Zero-credit requests carry
+// no weight — see the discovery package's rationale.
+func betterPiece(w float64, c *candidate, bw float64, b *candidate) bool {
+	if w != bw {
+		return w > bw
+	}
+	if c.popularity != b.popularity {
+		return c.popularity > b.popularity
+	}
+	if c.key.uri != b.key.uri {
+		return c.key.uri < b.key.uri
+	}
+	return c.key.piece < b.key.piece
+}

@@ -1,0 +1,341 @@
+package download
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+var key = []byte("k")
+
+// makeMeta builds a 4-piece file.
+func makeMeta(id metadata.FileID, name string) *metadata.Metadata {
+	return metadata.NewSynthetic(id, name, "FOX", "desc", 1024, 256,
+		0, simtime.Days(3), key)
+}
+
+func expiry() simtime.Time { return simtime.Time(simtime.Days(3)) }
+
+// seedHolder gives n the metadata and the full file.
+func seedHolder(n *node.Node, m *metadata.Metadata) {
+	n.AddMetadata(m, 0.5, 0)
+	n.GrantFullFile(m.URI, m.NumPieces())
+}
+
+// seedWanter gives n the metadata and marks the file wanted.
+func seedWanter(n *node.Node, m *metadata.Metadata) {
+	n.AddMetadata(m, 0.5, 0)
+	n.Select(m.URI)
+}
+
+func TestExchangeDeliversWantedPieces(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	seedWanter(b, m)
+
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 10})
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want all 4 pieces", len(events))
+	}
+	if !b.HasFullFile(m.URI) {
+		t.Fatal("receiver incomplete after full exchange")
+	}
+	last := events[len(events)-1]
+	if len(last.Completed) != 1 || last.Completed[0] != 1 {
+		t.Fatalf("completion event = %+v", last)
+	}
+}
+
+func TestPieceBudgetRespected(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	seedWanter(b, m)
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 2})
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if b.Pieces(m.URI).Count() != 2 {
+		t.Fatalf("receiver pieces = %d", b.Pieces(m.URI).Count())
+	}
+}
+
+func TestRequestedPiecesBeforePopularPushes(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	wanted := makeMeta(1, "wanted")
+	popular := makeMeta(2, "popular")
+	seedHolder(a, wanted)
+	a.AddMetadata(popular, 0.99, 0)
+	a.GrantFullFile(popular.URI, popular.NumPieces())
+	seedWanter(b, wanted)
+
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 4})
+	for i, ev := range events {
+		if ev.URI != wanted.URI {
+			t.Fatalf("broadcast %d = %v before requested pieces done", i, ev.URI)
+		}
+	}
+}
+
+func TestBroadcastServesAllLackers(t *testing.T) {
+	a := node.New(0, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	members := []*node.Node{a}
+	for i := 1; i <= 4; i++ {
+		w := node.New(trace.NodeID(i), false)
+		seedWanter(w, m)
+		members = append(members, w)
+	}
+	events := Exchange(0, members, Config{PieceBudget: 4})
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4 broadcasts for 4 pieces", len(events))
+	}
+	for _, w := range members[1:] {
+		if !w.HasFullFile(m.URI) {
+			t.Fatalf("node %d incomplete; broadcast must serve all members at once", w.ID)
+		}
+	}
+}
+
+func TestUnrequestedPushIsCached(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	// b neither knows nor wants the file.
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 1})
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	ps := b.Pieces(m.URI)
+	if ps == nil || ps.Count() != 1 || ps.Want {
+		t.Fatalf("cache state = %+v", ps)
+	}
+}
+
+func TestPiggybackedMetadataDelivers(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz")
+	seedHolder(a, m)
+	b.AddQuery("jazz", expiry())
+
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 1, PiggybackMetadata: true})
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if len(events[0].MetaDelivered) != 1 || events[0].MetaDelivered[0] != 1 {
+		t.Fatalf("MetaDelivered = %v", events[0].MetaDelivered)
+	}
+	if !b.HasMetadata(m.URI) {
+		t.Fatal("piggybacked metadata not stored")
+	}
+}
+
+func TestCachedPiecesRelayWithoutMetadata(t *testing.T) {
+	// a holds two cached pieces (no metadata anywhere); b can still
+	// receive them — totals travel with the piece set.
+	a := node.New(0, false)
+	b := node.New(1, false)
+	a.AddPiece("dtn://files/9", 0, 4)
+	a.AddPiece("dtn://files/9", 2, 4)
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 5})
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2 cached relays", len(events))
+	}
+	if got := b.Pieces("dtn://files/9"); got == nil || got.Count() != 2 {
+		t.Fatalf("receiver cache = %+v", got)
+	}
+}
+
+func TestCreditsAwardedOnPieces(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	c := node.New(2, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	seedWanter(b, m)
+	Exchange(0, []*node.Node{a, b, c}, Config{PieceBudget: 1})
+	if got := b.Ledger.Credit(0); got != 5 {
+		t.Fatalf("requester credit = %v, want 5", got)
+	}
+	if got := c.Ledger.Credit(0); got != 0.5 {
+		t.Fatalf("bystander credit = %v, want popularity 0.5", got)
+	}
+}
+
+func TestTFTFreeRiderNeverSends(t *testing.T) {
+	rider := node.New(0, false)
+	rider.FreeRider = true
+	giver := node.New(1, false)
+	wanter := node.New(2, false)
+	hoarded := makeMeta(1, "hoard")
+	gift := makeMeta(2, "gift")
+	seedHolder(rider, hoarded)
+	seedHolder(giver, gift)
+	seedWanter(wanter, hoarded)
+	seedWanter(wanter, gift)
+
+	events := Exchange(0, []*node.Node{rider, giver, wanter},
+		Config{PieceBudget: 10, TitForTat: true})
+	for _, ev := range events {
+		if ev.Sender == 0 {
+			t.Fatalf("free-rider sent %+v", ev)
+		}
+	}
+	if !wanter.HasFullFile(gift.URI) {
+		t.Fatal("giver's file did not transfer")
+	}
+	if wanter.Pieces(hoarded.URI).Count() != 0 {
+		t.Fatal("hoarded pieces leaked without a sender")
+	}
+}
+
+func TestTFTPrefersHighCreditRequester(t *testing.T) {
+	sender := node.New(0, false)
+	rich := node.New(1, false)
+	poor := node.New(2, false)
+	for i := 0; i < 4; i++ {
+		sender.Ledger.RewardRequested(1)
+	}
+	richFile := makeMeta(1, "richfile")
+	poorFile := makeMeta(2, "poorfile")
+	seedHolder(sender, richFile)
+	seedHolder(sender, poorFile)
+	seedWanter(rich, richFile)
+	seedWanter(poor, poorFile)
+
+	events := Exchange(0, []*node.Node{sender, rich, poor},
+		Config{PieceBudget: 1, TitForTat: true})
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Sender == 0 && events[0].URI != richFile.URI {
+		t.Fatalf("sender 0 sent %v, want high-credit peer's file", events[0].URI)
+	}
+}
+
+func TestZeroBudgetAndSingleton(t *testing.T) {
+	a := node.New(0, false)
+	m := makeMeta(1, "x")
+	seedHolder(a, m)
+	if ev := Exchange(0, []*node.Node{a, node.New(1, false)}, Config{}); ev != nil {
+		t.Fatalf("zero budget sent %v", ev)
+	}
+	if ev := Exchange(0, []*node.Node{a}, Config{PieceBudget: 5}); ev != nil {
+		t.Fatalf("singleton sent %v", ev)
+	}
+}
+
+func TestNothingToSend(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	if ev := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 5}); ev != nil {
+		t.Fatalf("empty nodes exchanged %v", ev)
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	tests := []struct {
+		n                   int
+		broadcast, pairwise float64
+	}{
+		{2, 0.5, 0.5},
+		{4, 0.75, 0.25},
+		{10, 0.9, 0.1},
+	}
+	for _, tt := range tests {
+		if got := BroadcastPerNodeCapacity(tt.n); math.Abs(got-tt.broadcast) > 1e-12 {
+			t.Errorf("Broadcast(%d) = %v, want %v", tt.n, got, tt.broadcast)
+		}
+		if got := PairwisePerNodeCapacity(tt.n); math.Abs(got-tt.pairwise) > 1e-12 {
+			t.Errorf("Pairwise(%d) = %v, want %v", tt.n, got, tt.pairwise)
+		}
+	}
+	if BroadcastPerNodeCapacity(1) != 0 || PairwisePerNodeCapacity(0) != 0 || CapacityGain(1) != 0 {
+		t.Error("degenerate clique sizes must have zero capacity")
+	}
+	if got := CapacityGain(5); got != 4 {
+		t.Errorf("CapacityGain(5) = %v, want 4", got)
+	}
+}
+
+func TestCapacityMonotonicity(t *testing.T) {
+	// The paper's claim: broadcast capacity increases with density,
+	// pair-wise capacity decreases.
+	for n := 3; n <= 50; n++ {
+		if BroadcastPerNodeCapacity(n) <= BroadcastPerNodeCapacity(n-1) {
+			t.Fatalf("broadcast capacity not increasing at n=%d", n)
+		}
+		if PairwisePerNodeCapacity(n) >= PairwisePerNodeCapacity(n-1) {
+			t.Fatalf("pairwise capacity not decreasing at n=%d", n)
+		}
+	}
+}
+
+func TestExchangeMeasuredBroadcastBeatsPairwiseDelivery(t *testing.T) {
+	// Behavioural counterpart of the capacity claim: with the same
+	// transmission budget, one n-node clique delivers more piece-receipts
+	// than pair-wise contacts would.
+	m := makeMeta(1, "x")
+	const budget = 4
+
+	// Broadcast: 1 holder + 4 wanters in one clique.
+	holder := node.New(0, false)
+	seedHolder(holder, m)
+	members := []*node.Node{holder}
+	for i := 1; i <= 4; i++ {
+		w := node.New(trace.NodeID(i), false)
+		seedWanter(w, m)
+		members = append(members, w)
+	}
+	receipts := 0
+	for _, ev := range Exchange(0, members, Config{PieceBudget: budget}) {
+		receipts += len(ev.NewReceivers)
+	}
+
+	// Pairwise: the same budget serves one receiver per transmission.
+	holder2 := node.New(0, false)
+	seedHolder(holder2, m)
+	w := node.New(1, false)
+	seedWanter(w, m)
+	pairReceipts := 0
+	for _, ev := range Exchange(0, []*node.Node{holder2, w}, Config{PieceBudget: budget}) {
+		pairReceipts += len(ev.NewReceivers)
+	}
+
+	if receipts <= pairReceipts {
+		t.Fatalf("broadcast receipts %d not above pairwise %d", receipts, pairReceipts)
+	}
+	if receipts != 16 || pairReceipts != 4 {
+		t.Fatalf("receipts = %d/%d, want 16/4", receipts, pairReceipts)
+	}
+}
+
+func TestNoPiggybackWithoutFlag(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz")
+	seedHolder(a, m)
+	b.AddQuery("jazz", expiry())
+
+	events := Exchange(0, []*node.Node{a, b}, Config{PieceBudget: 1})
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if len(events[0].MetaDelivered) != 0 {
+		t.Fatalf("MetaDelivered = %v without piggyback", events[0].MetaDelivered)
+	}
+	if b.HasMetadata(m.URI) {
+		t.Fatal("metadata travelled without the piggyback flag")
+	}
+}

@@ -1,0 +1,102 @@
+// Package eventq implements the discrete-event simulator's pending-event
+// queue: a binary min-heap ordered by firing time with a stable FIFO
+// tie-break, so that events scheduled for the same instant fire in
+// scheduling order. Stability is what makes simulation runs reproducible
+// independent of heap internals.
+package eventq
+
+import "repro/internal/simtime"
+
+// Event is a unit of work scheduled at a simulated instant.
+type Event struct {
+	// Time is the instant at which the event fires.
+	Time simtime.Time
+	// Fire performs the event's work.
+	Fire func()
+
+	seq uint64 // insertion order, breaks Time ties FIFO
+}
+
+// Queue is a min-heap of events. The zero value is an empty queue ready
+// for use. Queue is not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn at t.
+func (q *Queue) Push(t simtime.Time, fn func()) {
+	e := &Event{Time: t, Fire: fn, seq: q.seq}
+	q.seq++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
+// Peek returns the earliest pending event without removing it, or nil if
+// the queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest pending event, or nil if the queue
+// is empty. Ties on Time are broken in insertion order.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// less orders events by time, then by insertion sequence.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}

@@ -1,0 +1,181 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func drain(q *Queue) []simtime.Time {
+	var out []simtime.Time
+	for q.Len() > 0 {
+		out = append(out, q.Pop().Time)
+	}
+	return out
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("zero-value queue not empty")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue returned event")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue returned event")
+	}
+}
+
+func TestPopOrdersByTime(t *testing.T) {
+	var q Queue
+	for _, tm := range []simtime.Time{50, 10, 30, 20, 40} {
+		q.Push(tm, nil)
+	}
+	got := drain(&q)
+	want := []simtime.Time{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTiesFireInInsertionOrder(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 20; i++ {
+		i := i
+		q.Push(100, func() { fired = append(fired, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("tie order broken at %d: got %v", i, fired)
+		}
+	}
+}
+
+func TestMixedTiesAndTimes(t *testing.T) {
+	var q Queue
+	type mark struct {
+		tm  simtime.Time
+		seq int
+	}
+	var fired []mark
+	push := func(tm simtime.Time, seq int) {
+		q.Push(tm, func() { fired = append(fired, mark{tm, seq}) })
+	}
+	push(5, 0)
+	push(3, 1)
+	push(5, 2)
+	push(1, 3)
+	push(3, 4)
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	want := []mark{{1, 3}, {3, 1}, {3, 4}, {5, 0}, {5, 2}}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		q.Push(simtime.Time(r.Intn(1000)), nil)
+	}
+	for q.Len() > 0 {
+		peeked := q.Peek()
+		popped := q.Pop()
+		if peeked != popped {
+			t.Fatal("Peek disagreed with Pop")
+		}
+	}
+}
+
+func TestPropertyHeapSortsArbitraryInput(t *testing.T) {
+	f := func(times []int32) bool {
+		var q Queue
+		for _, tm := range times {
+			q.Push(simtime.Time(tm), nil)
+		}
+		got := drain(&q)
+		if len(got) != len(times) {
+			return false
+		}
+		want := make([]simtime.Time, len(times))
+		for i, tm := range times {
+			want[i] = simtime.Time(tm)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	r := rng.New(2)
+	lastPopped := simtime.Time(-1 << 62)
+	pendingMin := func() simtime.Time {
+		if e := q.Peek(); e != nil {
+			return e.Time
+		}
+		return 1 << 62
+	}
+	for round := 0; round < 1000; round++ {
+		if q.Len() == 0 || r.Bool(0.6) {
+			// Never schedule in the popped past; the simulator enforces
+			// the same invariant.
+			base := lastPopped
+			if base < 0 {
+				base = 0
+			}
+			q.Push(base+simtime.Time(r.Intn(100)), nil)
+			continue
+		}
+		if min := pendingMin(); min < lastPopped {
+			t.Fatalf("heap invariant broken: min %v < last popped %v", min, lastPopped)
+		}
+		e := q.Pop()
+		if e.Time < lastPopped {
+			t.Fatalf("popped %v after %v", e.Time, lastPopped)
+		}
+		lastPopped = e.Time
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	r := rng.New(3)
+	times := make([]simtime.Time, 1024)
+	for i := range times {
+		times[i] = simtime.Time(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(times[i%len(times)], nil)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseCSV reconstructs a Series from the CSV format produced by
+// Series.CSV, so saved results can be re-rendered (tables, charts)
+// without re-running the simulations. The id names the panel; its
+// definition supplies title and axis labels when known.
+func ParseCSV(id string, data string) (*Series, error) {
+	s := &Series{ID: id, Title: id, XLabel: "x"}
+	if def, err := Lookup(id); err == nil {
+		s.Title, s.XLabel, s.Trace = def.Title, def.XLabel, def.Trace
+	}
+
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	if len(lines) < 1 {
+		return nil, fmt.Errorf("experiment: empty CSV for %s", id)
+	}
+	header := strings.Split(lines[0], ",")
+	wantCols := 1 + 2*len(core.Variants())
+	if len(header) != wantCols || header[0] != "x" {
+		return nil, fmt.Errorf("experiment: unexpected CSV header %q", lines[0])
+	}
+	for lineNo, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != wantCols {
+			return nil, fmt.Errorf("experiment: row %d has %d columns, want %d",
+				lineNo+2, len(cols), wantCols)
+		}
+		vals := make([]float64, len(cols))
+		for i, c := range cols {
+			v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: row %d column %d: %w", lineNo+2, i+1, err)
+			}
+			vals[i] = v
+		}
+		p := Point{X: vals[0], Cells: make(map[core.Variant]Cell, 3)}
+		for i, v := range core.Variants() {
+			p.Cells[v] = Cell{
+				MetadataRatio: vals[1+2*i],
+				FileRatio:     vals[2+2*i],
+			}
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}

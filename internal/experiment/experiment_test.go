@@ -1,0 +1,302 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDefinitionsCoverEveryPanel(t *testing.T) {
+	want := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e",
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"}
+	defs := Definitions()
+	if len(defs) != len(want) {
+		t.Fatalf("%d definitions, want %d", len(defs), len(want))
+	}
+	for i, id := range want {
+		if defs[i].ID != id {
+			t.Errorf("definition %d = %s, want %s", i, defs[i].ID, id)
+		}
+		if len(defs[i].Xs) < 5 {
+			t.Errorf("%s has only %d sweep points", id, len(defs[i].Xs))
+		}
+		if defs[i].Apply == nil {
+			t.Errorf("%s has no Apply", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, err := Lookup("fig3f")
+	if err != nil || d.ID != "fig3f" {
+		t.Fatalf("Lookup(fig3f) = %+v, %v", d, err)
+	}
+	if _, err := Lookup("fig9z"); err == nil {
+		t.Fatal("Lookup(fig9z) accepted")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if Diesel.String() != "dieselnet" || NUS.String() != "nus" {
+		t.Fatal("trace kind names wrong")
+	}
+	if got := TraceKind(9).String(); !strings.Contains(got, "9") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+// runSmall runs a panel at test scale with few points.
+func runSmall(t *testing.T, id string, xs []float64) *Series {
+	t.Helper()
+	def, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs != nil {
+		def.Xs = xs
+	}
+	s, err := Run(def, Options{Seed: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	s := runSmall(t, "fig3a", []float64{0.2, 0.8})
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if len(p.Cells) != 3 {
+			t.Fatalf("point %v has %d cells", p.X, len(p.Cells))
+		}
+		for v, c := range p.Cells {
+			if c.MetadataRatio < 0 || c.MetadataRatio > 1 || c.FileRatio < 0 || c.FileRatio > 1 {
+				t.Fatalf("%v ratios out of range: %+v", v, c)
+			}
+		}
+	}
+}
+
+func TestInternetSweepShape(t *testing.T) {
+	// Fig 3(a)'s qualitative shape: MBT file delivery rises with the
+	// fraction of Internet-access nodes.
+	s := runSmall(t, "fig3a", []float64{0.1, 0.9})
+	lo := s.Points[0].Cells[core.MBT]
+	hi := s.Points[1].Cells[core.MBT]
+	if hi.FileRatio <= lo.FileRatio {
+		t.Fatalf("MBT file ratio did not rise with internet access: %v -> %v",
+			lo.FileRatio, hi.FileRatio)
+	}
+}
+
+func TestAttendanceSweepRuns(t *testing.T) {
+	s := runSmall(t, "fig3f", []float64{0.5, 1.0})
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Higher attendance means more contact opportunities; MBT delivery
+	// must not collapse.
+	lo := s.Points[0].Cells[core.MBT]
+	hi := s.Points[1].Cells[core.MBT]
+	if hi.FileRatio < lo.FileRatio {
+		t.Fatalf("file ratio fell with attendance: %v -> %v", lo.FileRatio, hi.FileRatio)
+	}
+}
+
+func TestDieselPanelRuns(t *testing.T) {
+	s := runSmall(t, "fig2c", []float64{1, 5})
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	lo := s.Points[0].Cells[core.MBT]
+	hi := s.Points[1].Cells[core.MBT]
+	if hi.MetadataRatio < lo.MetadataRatio {
+		t.Fatalf("metadata ratio fell with TTL: %v -> %v", lo.MetadataRatio, hi.MetadataRatio)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runSmall(t, "fig3a", []float64{0.5})
+	b := runSmall(t, "fig3a", []float64{0.5})
+	if a.Points[0].Cells[core.MBT] != b.Points[0].Cells[core.MBT] {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestTableAndCSV(t *testing.T) {
+	s := runSmall(t, "fig3a", []float64{0.5})
+	table := s.Table()
+	for _, want := range []string{"Fig 3(a)", "MBT-QM", "0.5"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "x,MBT_meta,MBT_file") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if cols := strings.Split(lines[1], ","); len(cols) != 7 {
+		t.Fatalf("csv row has %d columns, want 7", len(cols))
+	}
+}
+
+func TestMultiSeedAveraging(t *testing.T) {
+	def, err := Lookup("fig3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def.Xs = []float64{0.5}
+	s1, err := Run(def, Options{Seed: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(def, Options{Seed: 2, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Run(def, Options{Seed: 1, Seeds: 2, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range core.Variants() {
+		want := (s1.Points[0].Cells[v].MetadataRatio + s2.Points[0].Cells[v].MetadataRatio) / 2
+		got := avg.Points[0].Cells[v].MetadataRatio
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("%v averaged meta ratio %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll is slow")
+	}
+	// Shrink every panel to a single x to keep this quick.
+	seq, err := runAllOnePoint(Options{Seed: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runAllOnePoint(Options{Seed: 1, Small: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		for j := range seq[i].Points {
+			for _, v := range core.Variants() {
+				if seq[i].Points[j].Cells[v] != par[i].Points[j].Cells[v] {
+					t.Fatalf("%s point %d cell %v differs", seq[i].ID, j, v)
+				}
+			}
+		}
+	}
+}
+
+// runAllOnePoint runs every definition restricted to one x value.
+func runAllOnePoint(opts Options) ([]*Series, error) {
+	var out []*Series
+	type job struct {
+		i   int
+		def Definition
+	}
+	defs := Definitions()
+	for i := range defs {
+		defs[i].Xs = defs[i].Xs[:1]
+	}
+	results := make([]*Series, len(defs))
+	errs := make([]error, len(defs))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan job)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := range jobs {
+				results[j.i], errs[j.i] = Run(j.def, opts)
+			}
+		}()
+	}
+	for i, d := range defs {
+		jobs <- job{i, d}
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out = results
+	return out, nil
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := runSmall(t, "fig3a", []float64{0.2, 0.8})
+	parsed, err := ParseCSV("fig3a", s.CSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Title != s.Title || parsed.XLabel != s.XLabel {
+		t.Fatalf("labels: %q/%q", parsed.Title, parsed.XLabel)
+	}
+	if len(parsed.Points) != len(s.Points) {
+		t.Fatalf("points: %d vs %d", len(parsed.Points), len(s.Points))
+	}
+	for i := range s.Points {
+		if parsed.Points[i].X != s.Points[i].X {
+			t.Fatalf("x[%d] = %v vs %v", i, parsed.Points[i].X, s.Points[i].X)
+		}
+		for _, v := range core.Variants() {
+			a, b := parsed.Points[i].Cells[v], s.Points[i].Cells[v]
+			if diff := a.MetadataRatio - b.MetadataRatio; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("cell %v meta %v vs %v", v, a.MetadataRatio, b.MetadataRatio)
+			}
+		}
+	}
+}
+
+func TestParseCSVUnknownPanelStillWorks(t *testing.T) {
+	csv := "x,MBT_meta,MBT_file,MBT-Q_meta,MBT-Q_file,MBT-QM_meta,MBT-QM_file\n1,0.5,0.4,0.3,0.2,0.1,0.1\n"
+	s, err := ParseCSV("custom", csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Title != "custom" || len(s.Points) != 1 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, csv string
+	}{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"short row", "x,MBT_meta,MBT_file,MBT-Q_meta,MBT-Q_file,MBT-QM_meta,MBT-QM_file\n1,2\n"},
+		{"bad number", "x,MBT_meta,MBT_file,MBT-Q_meta,MBT-Q_file,MBT-QM_meta,MBT-QM_file\n1,a,b,c,d,e,f\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCSV("fig3a", tt.csv); err == nil {
+				t.Fatal("malformed CSV accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Package hello implements the beacon protocol of §III-B: every node
+// broadcasts a hello message at least once per second carrying (a) its
+// node ID, (b) the IDs of the nodes it heard hellos from in the past
+// 5 seconds, (c) its query strings, and (d) the URIs of the files it is
+// downloading. From received hellos each node learns its neighbourhood,
+// its neighbours' neighbourhoods (for clique computation), and what its
+// neighbours want (for the two-phase send ordering).
+package hello
+
+import (
+	"sort"
+
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Window is how long a heard hello keeps a node in the neighbour set.
+const Window = 5 * simtime.Second
+
+// Interval is the maximum beacon spacing.
+const Interval = simtime.Second
+
+// Message is one hello beacon.
+type Message struct {
+	// From is the sender.
+	From trace.NodeID
+	// Heard lists the nodes the sender received hellos from during the
+	// past Window.
+	Heard []trace.NodeID
+	// Queries are the sender's active query strings.
+	Queries []string
+	// Downloading lists the files the sender is actively fetching.
+	Downloading []metadata.URI
+}
+
+// Table accumulates received hellos and answers neighbourhood queries.
+// The zero value is not usable; construct with NewTable.
+type Table struct {
+	window simtime.Duration
+	last   map[trace.NodeID]entry
+}
+
+type entry struct {
+	at  simtime.Time
+	msg Message
+}
+
+// NewTable returns a table that forgets peers after the standard Window.
+func NewTable() *Table { return NewTableWindow(Window) }
+
+// NewTableWindow returns a table with a custom expiry window.
+func NewTableWindow(window simtime.Duration) *Table {
+	return &Table{window: window, last: make(map[trace.NodeID]entry)}
+}
+
+// Observe records a hello received at now.
+func (t *Table) Observe(now simtime.Time, msg Message) {
+	t.last[msg.From] = entry{at: now, msg: msg}
+}
+
+// live reports whether a record received at 'at' is still fresh at now.
+func (t *Table) live(at, now simtime.Time) bool {
+	return now.Sub(at) <= t.window
+}
+
+// Neighbors returns the nodes heard within the window, sorted.
+func (t *Table) Neighbors(now simtime.Time) []trace.NodeID {
+	var out []trace.NodeID
+	for id, e := range t.last {
+		if t.live(e.at, now) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Message returns the most recent fresh hello from id.
+func (t *Table) Message(now simtime.Time, id trace.NodeID) (Message, bool) {
+	e, ok := t.last[id]
+	if !ok || !t.live(e.at, now) {
+		return Message{}, false
+	}
+	return e.msg, true
+}
+
+// Graph builds the symmetric adjacency known to self at now: self is
+// adjacent to each fresh neighbour, and two neighbours are adjacent iff
+// each appears in the other's reported Heard list. This is the input to
+// maximal-clique computation.
+func (t *Table) Graph(now simtime.Time, self trace.NodeID) map[trace.NodeID][]trace.NodeID {
+	neighbors := t.Neighbors(now)
+	adj := make(map[trace.NodeID][]trace.NodeID, len(neighbors)+1)
+	add := func(a, b trace.NodeID) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	heardSet := make(map[trace.NodeID]map[trace.NodeID]bool, len(neighbors))
+	for _, id := range neighbors {
+		msg, _ := t.Message(now, id)
+		set := make(map[trace.NodeID]bool, len(msg.Heard))
+		for _, h := range msg.Heard {
+			set[h] = true
+		}
+		heardSet[id] = set
+	}
+	for i, a := range neighbors {
+		add(self, a)
+		for _, b := range neighbors[i+1:] {
+			if heardSet[a][b] && heardSet[b][a] {
+				add(a, b)
+			}
+		}
+	}
+	for id := range adj {
+		peers := adj[id]
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	}
+	if len(adj) == 0 {
+		adj[self] = nil
+	}
+	return adj
+}
+
+// GC drops expired records; call occasionally to bound memory in long
+// simulations.
+func (t *Table) GC(now simtime.Time) {
+	for id, e := range t.last {
+		if !t.live(e.at, now) {
+			delete(t.last, id)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package hello
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestNeighborsWithinWindow(t *testing.T) {
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1})
+	tbl.Observe(simtime.Time(2*simtime.Second), Message{From: 2})
+
+	got := tbl.Neighbors(simtime.Time(3 * simtime.Second))
+	want := []trace.NodeID{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors = %v, want %v", got, want)
+	}
+
+	// At t=6s the hello from node 1 (t=0) is 6s old: expired.
+	got = tbl.Neighbors(simtime.Time(6 * simtime.Second))
+	want = []trace.NodeID{2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors after expiry = %v, want %v", got, want)
+	}
+}
+
+func TestWindowBoundaryInclusive(t *testing.T) {
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1})
+	if got := tbl.Neighbors(simtime.Time(Window)); len(got) != 1 {
+		t.Fatalf("hello exactly Window old must still count, got %v", got)
+	}
+	if got := tbl.Neighbors(simtime.Time(Window + simtime.Millisecond)); len(got) != 0 {
+		t.Fatalf("hello older than Window counted: %v", got)
+	}
+}
+
+func TestMessageFreshness(t *testing.T) {
+	tbl := NewTable()
+	msg := Message{From: 3, Queries: []string{"jazz"}}
+	tbl.Observe(simtime.Time(simtime.Second), msg)
+	got, ok := tbl.Message(simtime.Time(2*simtime.Second), 3)
+	if !ok || got.Queries[0] != "jazz" {
+		t.Fatalf("Message = %+v, ok=%v", got, ok)
+	}
+	if _, ok := tbl.Message(simtime.Time(10*simtime.Second), 3); ok {
+		t.Fatal("stale message returned")
+	}
+	if _, ok := tbl.Message(simtime.Time(simtime.Second), 99); ok {
+		t.Fatal("unknown peer returned a message")
+	}
+}
+
+func TestObserveReplacesOlderHello(t *testing.T) {
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1, Queries: []string{"old"}})
+	tbl.Observe(simtime.Time(simtime.Second), Message{From: 1, Queries: []string{"new"}})
+	got, ok := tbl.Message(simtime.Time(simtime.Second), 1)
+	if !ok || got.Queries[0] != "new" {
+		t.Fatalf("Message = %+v", got)
+	}
+}
+
+func TestGraphFullClique(t *testing.T) {
+	// Nodes 1 and 2 report hearing each other: 0, 1, 2 form a triangle.
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1, Heard: []trace.NodeID{0, 2}})
+	tbl.Observe(0, Message{From: 2, Heard: []trace.NodeID{0, 1}})
+	adj := tbl.Graph(simtime.Time(simtime.Second), 0)
+	want := map[trace.NodeID][]trace.NodeID{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1},
+	}
+	if !reflect.DeepEqual(adj, want) {
+		t.Fatalf("Graph = %v, want %v", adj, want)
+	}
+}
+
+func TestGraphAsymmetricHearingIsNotAnEdge(t *testing.T) {
+	// 1 hears 2 but 2 does not hear 1: no 1-2 edge.
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1, Heard: []trace.NodeID{0, 2}})
+	tbl.Observe(0, Message{From: 2, Heard: []trace.NodeID{0}})
+	adj := tbl.Graph(simtime.Time(simtime.Second), 0)
+	for _, p := range adj[1] {
+		if p == 2 {
+			t.Fatal("asymmetric hearing produced an edge")
+		}
+	}
+	if len(adj[0]) != 2 {
+		t.Fatalf("self edges = %v, want both neighbours", adj[0])
+	}
+}
+
+func TestGraphIsolatedSelf(t *testing.T) {
+	tbl := NewTable()
+	adj := tbl.Graph(0, 7)
+	if len(adj) != 1 {
+		t.Fatalf("Graph = %v, want lone self entry", adj)
+	}
+	if _, ok := adj[7]; !ok {
+		t.Fatal("self missing from graph")
+	}
+}
+
+func TestGC(t *testing.T) {
+	tbl := NewTable()
+	tbl.Observe(0, Message{From: 1})
+	tbl.Observe(simtime.Time(10*simtime.Second), Message{From: 2})
+	tbl.GC(simtime.Time(10 * simtime.Second))
+	if len(tbl.last) != 1 {
+		t.Fatalf("GC left %d entries, want 1", len(tbl.last))
+	}
+	if _, ok := tbl.last[2]; !ok {
+		t.Fatal("GC dropped the fresh entry")
+	}
+}
+
+func TestCustomWindow(t *testing.T) {
+	tbl := NewTableWindow(simtime.Minute)
+	tbl.Observe(0, Message{From: 1})
+	if got := tbl.Neighbors(simtime.Time(30 * simtime.Second)); len(got) != 1 {
+		t.Fatalf("custom window ignored: %v", got)
+	}
+}

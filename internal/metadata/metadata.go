@@ -1,0 +1,195 @@
+// Package metadata defines the file metadata that the discovery protocol
+// distributes through the DTN.
+//
+// Per the paper (§III-B), each file is divided into 256 KB pieces and is
+// described by a metadata record carrying the file name, publisher,
+// human-readable description, the file's URI, per-piece checksums, and
+// authentication information that lets nodes reject metadata from fake
+// publishers. Metadata is deliberately much smaller than the file, so it
+// can be exchanged during short contacts and stored in bulk.
+package metadata
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/search"
+	"repro/internal/simtime"
+)
+
+// DefaultPieceSize is the paper's piece size: 256 KB.
+const DefaultPieceSize = 256 * 1024
+
+// FileID is the dense index of a file in the global catalog maintained by
+// the metadata server.
+type FileID int
+
+// URI is a file's uniform resource identifier; what discovery finds and
+// download fetches.
+type URI string
+
+// URIFor derives the canonical URI for a catalog file.
+func URIFor(id FileID) URI { return URI(fmt.Sprintf("dtn://files/%d", id)) }
+
+// Metadata describes one published file.
+type Metadata struct {
+	// URI is the identifier of the described file.
+	URI URI
+	// Name is the file name users search for.
+	Name string
+	// Publisher identifies the producing organization.
+	Publisher string
+	// Description is the advertisement text shown to users.
+	Description string
+	// Size is the file length in bytes.
+	Size int64
+	// PieceSize is the piece length in bytes (DefaultPieceSize unless
+	// the publisher traded metadata size for piece granularity).
+	PieceSize int
+	// PieceHashes holds the SHA-1 checksum of each piece.
+	PieceHashes [][sha1.Size]byte
+	// Created is the publication instant.
+	Created simtime.Time
+	// Expires is the end of the file's time-to-live; expired metadata is
+	// dropped from node storage.
+	Expires simtime.Time
+	// Signature authenticates the record against fake publishers
+	// (HMAC-SHA256 under the publisher's key).
+	Signature [sha256.Size]byte
+
+	// tokens caches the tokenized search text for query matching; built
+	// lazily on first MatchesQuery and shared by clones. The searchable
+	// fields must not change after the first match (published metadata
+	// is immutable).
+	tokens map[string]bool
+}
+
+// Validation errors.
+var (
+	ErrNoURI        = errors.New("metadata: missing URI")
+	ErrBadPieceSize = errors.New("metadata: piece size must be positive")
+	ErrBadSize      = errors.New("metadata: size must be positive")
+	ErrPieceCount   = errors.New("metadata: piece hash count does not match size")
+	ErrTTL          = errors.New("metadata: expiry not after creation")
+)
+
+// Validate checks structural invariants.
+func (m *Metadata) Validate() error {
+	if m.URI == "" {
+		return ErrNoURI
+	}
+	if m.PieceSize <= 0 {
+		return ErrBadPieceSize
+	}
+	if m.Size <= 0 {
+		return ErrBadSize
+	}
+	if len(m.PieceHashes) != m.NumPieces() {
+		return fmt.Errorf("%d hashes for %d pieces: %w", len(m.PieceHashes), m.NumPieces(), ErrPieceCount)
+	}
+	if m.Expires <= m.Created {
+		return ErrTTL
+	}
+	return nil
+}
+
+// NumPieces returns the number of pieces the file divides into.
+func (m *Metadata) NumPieces() int {
+	if m.PieceSize <= 0 {
+		return 0
+	}
+	return int((m.Size + int64(m.PieceSize) - 1) / int64(m.PieceSize))
+}
+
+// Expired reports whether the metadata's TTL has passed at now.
+func (m *Metadata) Expired(now simtime.Time) bool { return now >= m.Expires }
+
+// SearchText returns the text a keyword query is matched against.
+func (m *Metadata) SearchText() string {
+	return m.Name + " " + m.Publisher + " " + m.Description
+}
+
+// VerifyPiece reports whether data is the correct content for piece i.
+func (m *Metadata) VerifyPiece(i int, data []byte) bool {
+	if i < 0 || i >= len(m.PieceHashes) {
+		return false
+	}
+	return sha1.Sum(data) == m.PieceHashes[i]
+}
+
+// signingPayload serializes the authenticated fields deterministically.
+func (m *Metadata) signingPayload() []byte {
+	var buf []byte
+	appendStr := func(s string) {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	appendStr(string(m.URI))
+	appendStr(m.Name)
+	appendStr(m.Publisher)
+	appendStr(m.Description)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Size))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.PieceSize))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Created))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Expires))
+	for _, h := range m.PieceHashes {
+		buf = append(buf, h[:]...)
+	}
+	return buf
+}
+
+// Sign stores the publisher's authentication tag in m.Signature.
+//
+// A real deployment would use public-key signatures; HMAC under a
+// publisher key preserves the protocol-relevant property — nodes holding
+// the publisher's key material can reject forged metadata — with stdlib
+// primitives only.
+func (m *Metadata) Sign(key []byte) {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(m.signingPayload())
+	copy(m.Signature[:], mac.Sum(nil))
+}
+
+// Verify reports whether m.Signature authenticates the record under key.
+func (m *Metadata) Verify(key []byte) bool {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(m.signingPayload())
+	return hmac.Equal(mac.Sum(nil), m.Signature[:])
+}
+
+// MatchesQuery reports whether every keyword token in query occurs as a
+// whole token (case-insensitively) in the metadata's search text. Whole-
+// token matching keeps distinct catalog tokens (e.g. "f1" vs "f10") from
+// shadowing each other. An empty query matches nothing: the discovery
+// protocol only circulates concrete queries.
+func (m *Metadata) MatchesQuery(query string) bool {
+	keywords := search.Tokenize(query)
+	if len(keywords) == 0 {
+		return false
+	}
+	if m.tokens == nil {
+		m.tokens = make(map[string]bool)
+		for _, tok := range search.Tokenize(m.SearchText()) {
+			m.tokens[tok] = true
+		}
+	}
+	for _, kw := range keywords {
+		if !m.tokens[kw] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy; node stores hold independent copies so a
+// simulated transmission cannot alias peer state.
+func (m *Metadata) Clone() *Metadata {
+	c := *m
+	c.PieceHashes = make([][sha1.Size]byte, len(m.PieceHashes))
+	copy(c.PieceHashes, m.PieceHashes)
+	return &c
+}

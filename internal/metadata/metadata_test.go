@@ -1,0 +1,236 @@
+package metadata
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+var testKey = []byte("publisher-key")
+
+func sample() *Metadata {
+	return NewSynthetic(7, "Nature Documentary S01E01", "FOX",
+		"Wildlife in the savanna, episode one", 600*1024, DefaultPieceSize,
+		simtime.At(0, simtime.FileGenerationOffset), simtime.Days(3), testKey)
+}
+
+func TestNewSyntheticValid(t *testing.T) {
+	m := sample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.URI != "dtn://files/7" {
+		t.Fatalf("URI = %q", m.URI)
+	}
+	if got := m.NumPieces(); got != 3 {
+		t.Fatalf("NumPieces = %d, want 3 for 600KB/256KB", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Metadata)
+		wantErr error
+	}{
+		{"no URI", func(m *Metadata) { m.URI = "" }, ErrNoURI},
+		{"bad piece size", func(m *Metadata) { m.PieceSize = 0 }, ErrBadPieceSize},
+		{"bad size", func(m *Metadata) { m.Size = 0 }, ErrBadSize},
+		{"hash count", func(m *Metadata) { m.PieceHashes = m.PieceHashes[:1] }, ErrPieceCount},
+		{"ttl", func(m *Metadata) { m.Expires = m.Created }, ErrTTL},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := sample()
+			tt.mutate(m)
+			if err := m.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNumPieces(t *testing.T) {
+	tests := []struct {
+		size      int64
+		pieceSize int
+		want      int
+	}{
+		{1, 256, 1},
+		{256, 256, 1},
+		{257, 256, 2},
+		{512, 256, 2},
+		{600 * 1024, DefaultPieceSize, 3},
+	}
+	for _, tt := range tests {
+		m := Metadata{Size: tt.size, PieceSize: tt.pieceSize}
+		if got := m.NumPieces(); got != tt.want {
+			t.Errorf("NumPieces(size=%d, piece=%d) = %d, want %d",
+				tt.size, tt.pieceSize, got, tt.want)
+		}
+	}
+	var zero Metadata
+	if zero.NumPieces() != 0 {
+		t.Error("zero metadata must have zero pieces")
+	}
+}
+
+func TestPieceLen(t *testing.T) {
+	m := Metadata{Size: 600, PieceSize: 256}
+	if got := m.PieceLen(0); got != 256 {
+		t.Fatalf("PieceLen(0) = %d", got)
+	}
+	if got := m.PieceLen(2); got != 88 {
+		t.Fatalf("PieceLen(2) = %d, want 88", got)
+	}
+	if got := m.PieceLen(3); got != 0 {
+		t.Fatalf("PieceLen(3) = %d, want 0", got)
+	}
+	if got := m.PieceLen(-1); got != 0 {
+		t.Fatalf("PieceLen(-1) = %d, want 0", got)
+	}
+	exact := Metadata{Size: 512, PieceSize: 256}
+	if got := exact.PieceLen(1); got != 256 {
+		t.Fatalf("exact-multiple final piece = %d, want 256", got)
+	}
+}
+
+func TestExpired(t *testing.T) {
+	m := sample()
+	if m.Expired(m.Created) {
+		t.Fatal("expired at creation")
+	}
+	if !m.Expired(m.Expires) {
+		t.Fatal("not expired at expiry instant")
+	}
+	if !m.Expired(m.Expires + 1) {
+		t.Fatal("not expired after expiry")
+	}
+}
+
+func TestVerifyPiece(t *testing.T) {
+	m := sample()
+	for i := 0; i < m.NumPieces(); i++ {
+		data := SyntheticPiece(m.URI, i, m.PieceLen(i))
+		if !m.VerifyPiece(i, data) {
+			t.Fatalf("genuine piece %d rejected", i)
+		}
+	}
+	bad := SyntheticPiece(m.URI, 0, m.PieceLen(0))
+	bad[0] ^= 0xff
+	if m.VerifyPiece(0, bad) {
+		t.Fatal("corrupted piece accepted")
+	}
+	if m.VerifyPiece(99, nil) || m.VerifyPiece(-1, nil) {
+		t.Fatal("out-of-range piece accepted")
+	}
+}
+
+func TestSyntheticPieceDeterministicAndDistinct(t *testing.T) {
+	a := SyntheticPiece("dtn://files/1", 0, 1024)
+	b := SyntheticPiece("dtn://files/1", 0, 1024)
+	if string(a) != string(b) {
+		t.Fatal("SyntheticPiece not deterministic")
+	}
+	c := SyntheticPiece("dtn://files/1", 1, 1024)
+	if string(a) == string(c) {
+		t.Fatal("pieces 0 and 1 identical")
+	}
+	d := SyntheticPiece("dtn://files/2", 0, 1024)
+	if string(a) == string(d) {
+		t.Fatal("same piece of different files identical")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	m := sample()
+	if !m.Verify(testKey) {
+		t.Fatal("genuine signature rejected")
+	}
+	if m.Verify([]byte("attacker-key")) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Metadata)
+	}{
+		{"name", func(m *Metadata) { m.Name = "Fake " + m.Name }},
+		{"publisher", func(m *Metadata) { m.Publisher = "EVIL" }},
+		{"description", func(m *Metadata) { m.Description = "malware" }},
+		{"uri", func(m *Metadata) { m.URI = "dtn://files/666" }},
+		{"size", func(m *Metadata) { m.Size++ }},
+		{"expiry", func(m *Metadata) { m.Expires++ }},
+		{"piece hash", func(m *Metadata) { m.PieceHashes[0][0] ^= 1 }},
+		{"signature", func(m *Metadata) { m.Signature[0] ^= 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := sample()
+			tt.mutate(m)
+			if m.Verify(testKey) {
+				t.Fatal("tampered metadata verified")
+			}
+		})
+	}
+}
+
+func TestMatchesQuery(t *testing.T) {
+	m := sample()
+	tests := []struct {
+		query string
+		want  bool
+	}{
+		{"nature", true},
+		{"NATURE", true},
+		{"nature documentary", true},
+		{"savanna fox", true}, // publisher text matches too
+		{"documentary basketball", false},
+		{"", false},
+		{"   ", false},
+		{"s01e01", true},
+		{"wildlife episode", true},
+	}
+	for _, tt := range tests {
+		if got := m.MatchesQuery(tt.query); got != tt.want {
+			t.Errorf("MatchesQuery(%q) = %v, want %v", tt.query, got, tt.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := sample()
+	c := m.Clone()
+	c.PieceHashes[0][0] ^= 0xff
+	c.Name = "changed"
+	if m.PieceHashes[0][0] == c.PieceHashes[0][0] {
+		t.Fatal("clone shares piece hash storage")
+	}
+	if m.Name == c.Name {
+		t.Fatal("clone shares name")
+	}
+}
+
+func TestURIFor(t *testing.T) {
+	if got := URIFor(42); got != "dtn://files/42" {
+		t.Fatalf("URIFor(42) = %q", got)
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	f := func(name, publisher string, size uint16, keyA, keyB []byte) bool {
+		if len(keyA) == 0 || len(keyB) == 0 || string(keyA) == string(keyB) {
+			return true // skip degenerate inputs
+		}
+		m := NewSynthetic(1, name, publisher, "d", int64(size)+1, 128,
+			0, simtime.Day, keyA)
+		return m.Verify(keyA) && !m.Verify(keyB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

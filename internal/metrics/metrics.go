@@ -1,0 +1,209 @@
+// Package metrics accounts for the paper's performance measurements:
+// the delivery ratios of metadata and files — delivered count over the
+// total number of queries generated — measured only over the
+// non-Internet-access nodes (§VI-B), plus delivery-delay statistics.
+package metrics
+
+import (
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// QueryKey identifies one query: which node asked for which file.
+type QueryKey struct {
+	Node trace.NodeID
+	URI  metadata.URI
+}
+
+// Record tracks one query's outcomes. Unset instants are -1.
+type Record struct {
+	CreatedAt simtime.Time
+	Expires   simtime.Time
+	MetaAt    simtime.Time
+	FileAt    simtime.Time
+}
+
+// Collector accumulates query outcomes. Construct with NewCollector.
+type Collector struct {
+	records map[QueryKey]*Record
+
+	// Traffic counters (broadcast counts, for ablation reporting).
+	MetadataBroadcasts int
+	PieceBroadcasts    int
+	MetadataReceipts   int
+	PieceReceipts      int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{records: make(map[QueryKey]*Record)}
+}
+
+// QueryCreated registers a query by a measured (non-Internet) node.
+func (c *Collector) QueryCreated(node trace.NodeID, uri metadata.URI, at, expires simtime.Time) {
+	key := QueryKey{Node: node, URI: uri}
+	if _, ok := c.records[key]; ok {
+		return
+	}
+	c.records[key] = &Record{CreatedAt: at, Expires: expires, MetaAt: -1, FileAt: -1}
+}
+
+// MetadataDelivered marks the query's metadata as delivered at 'at'. Only
+// the first delivery before expiry counts. Unknown queries are ignored
+// (deliveries to Internet nodes are not measured).
+func (c *Collector) MetadataDelivered(node trace.NodeID, uri metadata.URI, at simtime.Time) {
+	r, ok := c.records[QueryKey{Node: node, URI: uri}]
+	if !ok || r.MetaAt >= 0 || at >= r.Expires {
+		return
+	}
+	r.MetaAt = at
+}
+
+// FileDelivered marks the query's file as completely downloaded at 'at'.
+func (c *Collector) FileDelivered(node trace.NodeID, uri metadata.URI, at simtime.Time) {
+	r, ok := c.records[QueryKey{Node: node, URI: uri}]
+	if !ok || r.FileAt >= 0 || at >= r.Expires {
+		return
+	}
+	r.FileAt = at
+}
+
+// Queries returns the number of registered queries.
+func (c *Collector) Queries() int { return len(c.records) }
+
+// MetadataDeliveries returns how many queries had metadata delivered.
+func (c *Collector) MetadataDeliveries() int {
+	n := 0
+	for _, r := range c.records {
+		if r.MetaAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FileDeliveries returns how many queries had the full file delivered.
+func (c *Collector) FileDeliveries() int {
+	n := 0
+	for _, r := range c.records {
+		if r.FileAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MetadataRatio returns delivered metadata over queries (0 if none).
+func (c *Collector) MetadataRatio() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return float64(c.MetadataDeliveries()) / float64(len(c.records))
+}
+
+// FileRatio returns delivered files over queries (0 if none).
+func (c *Collector) FileRatio() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return float64(c.FileDeliveries()) / float64(len(c.records))
+}
+
+// MeanMetadataDelay returns the average creation-to-delivery delay over
+// delivered metadata, or 0 with no deliveries.
+func (c *Collector) MeanMetadataDelay() simtime.Duration {
+	var total simtime.Duration
+	n := 0
+	for _, r := range c.records {
+		if r.MetaAt >= 0 {
+			total += r.MetaAt.Sub(r.CreatedAt)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / simtime.Duration(n)
+}
+
+// MeanFileDelay returns the average creation-to-completion delay over
+// delivered files, or 0 with no deliveries.
+func (c *Collector) MeanFileDelay() simtime.Duration {
+	var total simtime.Duration
+	n := 0
+	for _, r := range c.records {
+		if r.FileAt >= 0 {
+			total += r.FileAt.Sub(r.CreatedAt)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / simtime.Duration(n)
+}
+
+// Record returns the record for a query, or nil.
+func (c *Collector) Record(node trace.NodeID, uri metadata.URI) *Record {
+	return c.records[QueryKey{Node: node, URI: uri}]
+}
+
+// NodeStats aggregates one querying node's outcomes.
+type NodeStats struct {
+	Queries            int
+	MetadataDeliveries int
+	FileDeliveries     int
+	// TotalMetadataDelay sums creation-to-delivery delays over the
+	// node's delivered metadata (divide by MetadataDeliveries for the
+	// mean).
+	TotalMetadataDelay simtime.Duration
+}
+
+// PerNode returns per-node aggregates, keyed by querying node.
+func (c *Collector) PerNode() map[trace.NodeID]NodeStats {
+	out := make(map[trace.NodeID]NodeStats)
+	for key, r := range c.records {
+		st := out[key.Node]
+		st.Queries++
+		if r.MetaAt >= 0 {
+			st.MetadataDeliveries++
+			st.TotalMetadataDelay += r.MetaAt.Sub(r.CreatedAt)
+		}
+		if r.FileAt >= 0 {
+			st.FileDeliveries++
+		}
+		out[key.Node] = st
+	}
+	return out
+}
+
+// DayStats aggregates activity in one simulated day.
+type DayStats struct {
+	// QueriesCreated counts queries whose creation fell in the day.
+	QueriesCreated int
+	// MetadataDelivered and FilesDelivered count deliveries that
+	// happened during the day.
+	MetadataDelivered int
+	FilesDelivered    int
+}
+
+// DailySeries returns per-day activity for days [0, days); deliveries on
+// later days are dropped. Useful for plotting system warm-up and steady
+// state.
+func (c *Collector) DailySeries(days int) []DayStats {
+	out := make([]DayStats, days)
+	inRange := func(t simtime.Time) bool { return t >= 0 && t.Day() < days }
+	for _, r := range c.records {
+		if inRange(r.CreatedAt) {
+			out[r.CreatedAt.Day()].QueriesCreated++
+		}
+		if r.MetaAt >= 0 && inRange(r.MetaAt) {
+			out[r.MetaAt.Day()].MetadataDelivered++
+		}
+		if r.FileAt >= 0 && inRange(r.FileAt) {
+			out[r.FileAt.Day()].FilesDelivered++
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.Queries() != 0 || c.MetadataRatio() != 0 || c.FileRatio() != 0 {
+		t.Fatal("empty collector not zeroed")
+	}
+	if c.MeanMetadataDelay() != 0 || c.MeanFileDelay() != 0 {
+		t.Fatal("empty collector delays not zero")
+	}
+}
+
+func TestDeliveryRatios(t *testing.T) {
+	c := NewCollector()
+	exp := simtime.Time(simtime.Days(3))
+	c.QueryCreated(1, "u1", 0, exp)
+	c.QueryCreated(1, "u2", 0, exp)
+	c.QueryCreated(2, "u1", 0, exp)
+	c.MetadataDelivered(1, "u1", 10)
+	c.MetadataDelivered(2, "u1", 20)
+	c.FileDelivered(1, "u1", 30)
+
+	if got := c.Queries(); got != 3 {
+		t.Fatalf("Queries = %d", got)
+	}
+	if got := c.MetadataRatio(); got != 2.0/3 {
+		t.Fatalf("MetadataRatio = %v", got)
+	}
+	if got := c.FileRatio(); got != 1.0/3 {
+		t.Fatalf("FileRatio = %v", got)
+	}
+}
+
+func TestDuplicateQueryCreationIgnored(t *testing.T) {
+	c := NewCollector()
+	c.QueryCreated(1, "u", 0, 100)
+	c.QueryCreated(1, "u", 50, 200)
+	if c.Queries() != 1 {
+		t.Fatalf("Queries = %d", c.Queries())
+	}
+	if got := c.Record(1, "u").CreatedAt; got != 0 {
+		t.Fatalf("CreatedAt = %v, first registration must win", got)
+	}
+}
+
+func TestFirstDeliveryWins(t *testing.T) {
+	c := NewCollector()
+	c.QueryCreated(1, "u", 0, 1000)
+	c.MetadataDelivered(1, "u", 10)
+	c.MetadataDelivered(1, "u", 5)
+	if got := c.Record(1, "u").MetaAt; got != 10 {
+		t.Fatalf("MetaAt = %v, want first delivery kept", got)
+	}
+}
+
+func TestLateDeliveryNotCounted(t *testing.T) {
+	c := NewCollector()
+	c.QueryCreated(1, "u", 0, 100)
+	c.MetadataDelivered(1, "u", 100) // at expiry: too late
+	c.FileDelivered(1, "u", 150)
+	if c.MetadataDeliveries() != 0 || c.FileDeliveries() != 0 {
+		t.Fatal("post-expiry delivery counted")
+	}
+}
+
+func TestUnknownQueryIgnored(t *testing.T) {
+	c := NewCollector()
+	c.MetadataDelivered(9, "u", 10)
+	c.FileDelivered(9, "u", 10)
+	if c.Queries() != 0 {
+		t.Fatal("delivery created a query record")
+	}
+}
+
+func TestDelays(t *testing.T) {
+	c := NewCollector()
+	exp := simtime.Time(simtime.Days(3))
+	c.QueryCreated(1, "u1", 100, exp)
+	c.QueryCreated(1, "u2", 100, exp)
+	c.MetadataDelivered(1, "u1", 200)
+	c.MetadataDelivered(1, "u2", 400)
+	c.FileDelivered(1, "u1", 500)
+	if got := c.MeanMetadataDelay(); got != 200 {
+		t.Fatalf("MeanMetadataDelay = %v, want 200", got)
+	}
+	if got := c.MeanFileDelay(); got != 400 {
+		t.Fatalf("MeanFileDelay = %v, want 400", got)
+	}
+}
+
+func TestRecordLookup(t *testing.T) {
+	c := NewCollector()
+	if c.Record(1, "u") != nil {
+		t.Fatal("unknown record not nil")
+	}
+	c.QueryCreated(1, "u", 0, 10)
+	if c.Record(1, "u") == nil {
+		t.Fatal("record missing")
+	}
+}
+
+func TestDailySeries(t *testing.T) {
+	c := NewCollector()
+	day := simtime.Time(simtime.Day)
+	c.QueryCreated(1, "u1", 0, 10*day)
+	c.QueryCreated(1, "u2", day, 10*day)
+	c.MetadataDelivered(1, "u1", day+1)
+	c.FileDelivered(1, "u1", 2*day+5)
+	c.MetadataDelivered(1, "u2", 9*day)
+
+	got := c.DailySeries(3)
+	if got[0].QueriesCreated != 1 || got[1].QueriesCreated != 1 {
+		t.Fatalf("queries per day: %+v", got)
+	}
+	if got[1].MetadataDelivered != 1 {
+		t.Fatalf("day 1 metadata: %+v", got[1])
+	}
+	if got[2].FilesDelivered != 1 {
+		t.Fatalf("day 2 files: %+v", got[2])
+	}
+	// The day-9 delivery is outside the 3-day window.
+	total := 0
+	for _, d := range got {
+		total += d.MetadataDelivered
+	}
+	if total != 1 {
+		t.Fatalf("out-of-window delivery counted: %+v", got)
+	}
+}
+
+func TestDailySeriesEmpty(t *testing.T) {
+	c := NewCollector()
+	got := c.DailySeries(2)
+	if len(got) != 2 || got[0] != (DayStats{}) {
+		t.Fatalf("empty series = %+v", got)
+	}
+}

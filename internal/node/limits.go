@@ -1,0 +1,100 @@
+package node
+
+import (
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// Limits bounds a node's storage. Zero values mean unlimited. The paper
+// notes metadata is small and kept "in larger amounts and for longer
+// durations than files", so the two stores are capped independently.
+type Limits struct {
+	// MaxMetadata caps stored metadata records.
+	MaxMetadata int
+	// MaxCachedFiles caps piece sets of files the node does not want
+	// (opportunistic phase-two caches). Wanted and completed files are
+	// never evicted by this cap.
+	MaxCachedFiles int
+}
+
+// SetLimits installs storage caps and immediately enforces them.
+func (n *Node) SetLimits(l Limits) {
+	n.limits = l
+	n.enforceMetadataLimit()
+	n.enforcePieceLimit()
+}
+
+// Limits returns the node's storage caps.
+func (n *Node) Limits() Limits { return n.limits }
+
+// enforceMetadataLimit evicts the least valuable metadata until the
+// store fits: lowest popularity first, ties by earliest expiry then URI.
+// Records whose file is wanted are kept if at all possible.
+func (n *Node) enforceMetadataLimit() {
+	max := n.limits.MaxMetadata
+	if max <= 0 || len(n.store) <= max {
+		return
+	}
+	type victim struct {
+		uri    metadata.URI
+		sm     *StoredMetadata
+		wanted bool
+	}
+	victims := make([]victim, 0, len(n.store))
+	for uri, sm := range n.store {
+		ps := n.pieces[uri]
+		victims = append(victims, victim{
+			uri:    uri,
+			sm:     sm,
+			wanted: ps != nil && ps.Want,
+		})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.wanted != b.wanted {
+			return !a.wanted // evict unwanted first
+		}
+		if a.sm.Popularity != b.sm.Popularity {
+			return a.sm.Popularity < b.sm.Popularity
+		}
+		if a.sm.Meta.Expires != b.sm.Meta.Expires {
+			return a.sm.Meta.Expires < b.sm.Meta.Expires
+		}
+		return a.uri < b.uri
+	})
+	for _, v := range victims {
+		if len(n.store) <= max {
+			break
+		}
+		delete(n.store, v.uri)
+	}
+}
+
+// enforcePieceLimit evicts unwanted, incomplete piece caches until the
+// cache fits: fewest pieces first, ties by URI.
+func (n *Node) enforcePieceLimit() {
+	max := n.limits.MaxCachedFiles
+	if max <= 0 {
+		return
+	}
+	var cached []metadata.URI
+	for uri, ps := range n.pieces {
+		if !ps.Want && !ps.Complete() {
+			cached = append(cached, uri)
+		}
+	}
+	if len(cached) <= max {
+		return
+	}
+	sort.Slice(cached, func(i, j int) bool {
+		a, b := n.pieces[cached[i]], n.pieces[cached[j]]
+		if a.Count() != b.Count() {
+			return a.Count() < b.Count()
+		}
+		return cached[i] < cached[j]
+	})
+	for _, uri := range cached[:len(cached)-max] {
+		delete(n.pieces, uri)
+	}
+}

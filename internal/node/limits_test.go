@@ -1,0 +1,145 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/metadata"
+)
+
+func metaWithPop(t *testing.T, n *Node, id metadata.FileID, pop float64) *metadata.Metadata {
+	t.Helper()
+	m := makeMeta(id, "x")
+	if !n.AddMetadata(m, pop, 0) && n.Metadata(m.URI) == nil {
+		// Admission may legitimately fail under a cap; callers assert.
+		return m
+	}
+	return m
+}
+
+func TestMetadataLimitEvictsLeastPopular(t *testing.T) {
+	n := New(1, false)
+	n.SetLimits(Limits{MaxMetadata: 2})
+	low := metaWithPop(t, n, 1, 0.1)
+	mid := metaWithPop(t, n, 2, 0.5)
+	high := metaWithPop(t, n, 3, 0.9)
+	if n.HasMetadata(low.URI) {
+		t.Fatal("least popular record not evicted")
+	}
+	if !n.HasMetadata(mid.URI) || !n.HasMetadata(high.URI) {
+		t.Fatal("popular records evicted")
+	}
+	if got := len(n.MetadataStore()); got != 2 {
+		t.Fatalf("store size = %d, want 2", got)
+	}
+}
+
+func TestMetadataLimitRejectsUnpopularNewcomer(t *testing.T) {
+	n := New(1, false)
+	n.SetLimits(Limits{MaxMetadata: 2})
+	metaWithPop(t, n, 1, 0.8)
+	metaWithPop(t, n, 2, 0.9)
+	newcomer := makeMeta(3, "x")
+	if n.AddMetadata(newcomer, 0.1, 0) {
+		t.Fatal("unpopular newcomer admitted over cap")
+	}
+	if n.HasMetadata(newcomer.URI) {
+		t.Fatal("newcomer present despite rejection")
+	}
+}
+
+func TestMetadataLimitProtectsWantedFiles(t *testing.T) {
+	n := New(1, false)
+	wanted := makeMeta(1, "keep")
+	n.AddMetadata(wanted, 0.01, 0)
+	n.Select(wanted.URI)
+	metaWithPop(t, n, 2, 0.5)
+	metaWithPop(t, n, 3, 0.9)
+	n.SetLimits(Limits{MaxMetadata: 2})
+	if !n.HasMetadata(wanted.URI) {
+		t.Fatal("wanted file's metadata evicted despite low popularity")
+	}
+}
+
+func TestPieceCacheLimit(t *testing.T) {
+	n := New(1, false)
+	n.SetLimits(Limits{MaxCachedFiles: 1})
+	n.AddPiece("dtn://files/1", 0, 4)
+	n.AddPiece("dtn://files/1", 1, 4) // 2 pieces cached
+	n.AddPiece("dtn://files/2", 0, 4) // 1 piece: evicted as smallest
+	if n.Pieces("dtn://files/2") != nil {
+		t.Fatal("smallest cache not evicted")
+	}
+	if ps := n.Pieces("dtn://files/1"); ps == nil || ps.Count() != 2 {
+		t.Fatalf("surviving cache = %+v", ps)
+	}
+}
+
+func TestPieceCacheLimitSparesWantedAndComplete(t *testing.T) {
+	n := New(1, false)
+	wanted := makeMeta(1, "w")
+	n.AddMetadata(wanted, 0.5, 0)
+	n.Select(wanted.URI)
+	n.AddPiece(wanted.URI, 0, 4)
+
+	complete := makeMeta(2, "c")
+	n.AddMetadata(complete, 0.5, 0)
+	n.GrantFullFile(complete.URI, complete.NumPieces())
+
+	n.SetLimits(Limits{MaxCachedFiles: 1})
+	n.AddPiece("dtn://files/9", 0, 4)
+	n.AddPiece("dtn://files/10", 0, 4)
+
+	if n.Pieces(wanted.URI) == nil {
+		t.Fatal("wanted download evicted")
+	}
+	if !n.HasFullFile(complete.URI) {
+		t.Fatal("complete file evicted")
+	}
+	cached := 0
+	for _, uri := range []metadata.URI{"dtn://files/9", "dtn://files/10"} {
+		if n.Pieces(uri) != nil {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Fatalf("cached unwanted files = %d, want 1", cached)
+	}
+}
+
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	n := New(1, false)
+	n.SetLimits(Limits{})
+	for i := 0; i < 50; i++ {
+		metaWithPop(t, n, metadata.FileID(i), 0.5)
+		n.AddPiece(metadata.URIFor(metadata.FileID(i+1000)), 0, 2)
+	}
+	if got := len(n.MetadataStore()); got != 50 {
+		t.Fatalf("store size = %d under unlimited cap", got)
+	}
+	if got := len(n.PieceURIs()); got != 50 {
+		t.Fatalf("piece caches = %d under unlimited cap", got)
+	}
+}
+
+func TestLimitsAccessor(t *testing.T) {
+	n := New(1, false)
+	l := Limits{MaxMetadata: 7, MaxCachedFiles: 3}
+	n.SetLimits(l)
+	if n.Limits() != l {
+		t.Fatalf("Limits() = %+v", n.Limits())
+	}
+}
+
+func TestWantedPiecesNotCountedAgainstCache(t *testing.T) {
+	n := New(1, false)
+	n.SetLimits(Limits{MaxCachedFiles: 1})
+	m := makeMeta(1, "w")
+	n.AddMetadata(m, 0.5, 0)
+	n.Select(m.URI)
+	if !n.AddPiece(m.URI, 0, 4) {
+		t.Fatal("piece of wanted file rejected by cache cap")
+	}
+	if !n.AddPiece("dtn://files/5", 0, 4) {
+		t.Fatal("first cached file rejected")
+	}
+}

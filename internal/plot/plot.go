@@ -1,0 +1,162 @@
+// Package plot renders experiment series as standalone SVG line charts,
+// so the harness can regenerate the paper's figures as images without any
+// external plotting dependency. Each chart plots the metadata or file
+// delivery ratio (y, always [0,1]) against the panel's sweep variable (x)
+// with one line per protocol.
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// Metric selects which ratio a chart shows.
+type Metric int
+
+// The two measured ratios.
+const (
+	MetadataRatio Metric = iota + 1
+	FileRatio
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetadataRatio:
+		return "metadata delivery ratio"
+	case FileRatio:
+		return "file delivery ratio"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Chart geometry.
+const (
+	width      = 640
+	height     = 420
+	marginLeft = 70
+	marginTop  = 50
+	marginBot  = 60
+	marginRt   = 30
+	plotW      = width - marginLeft - marginRt
+	plotH      = height - marginTop - marginBot
+)
+
+// Line colors per protocol (color-blind-safe trio).
+var colors = map[core.Variant]string{
+	core.MBT:   "#0072b2",
+	core.MBTQ:  "#e69f00",
+	core.MBTQM: "#009e73",
+}
+
+// SVG renders one chart for the series and metric.
+func SVG(s *experiment.Series, metric Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="25" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`,
+		width/2, escape(s.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`,
+		marginLeft+plotW/2, height-15, escape(s.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`,
+		marginTop+plotH/2, marginTop+plotH/2, escape(metric.String()))
+
+	xMin, xMax := xRange(s)
+	xPos := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft + float64(plotW)/2
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*float64(plotW)
+	}
+	yPos := func(y float64) float64 {
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		return marginTop + (1-y)*float64(plotH)
+	}
+
+	// Grid and y ticks at 0, .2, ..., 1.
+	for i := 0; i <= 5; i++ {
+		y := float64(i) / 5
+		py := yPos(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginLeft, py, marginLeft+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.1f</text>`,
+			marginLeft-8, py+4, y)
+	}
+	// X ticks at each sweep point.
+	for _, p := range s.Points {
+		px := xPos(p.X)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`,
+			px, marginTop, px, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`,
+			px, marginTop+plotH+18, p.X)
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`,
+		marginLeft, marginTop, plotW, plotH)
+
+	// One polyline + markers per protocol.
+	for i, v := range core.Variants() {
+		color := colors[v]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(p.X), yPos(value(p, v, metric))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`,
+				xPos(p.X), yPos(value(p, v, metric)), color)
+		}
+		// Legend.
+		lx := marginLeft + 12
+		ly := marginTop + 16 + i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`,
+			lx+28, ly, v)
+	}
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// value extracts the chosen ratio.
+func value(p experiment.Point, v core.Variant, metric Metric) float64 {
+	c := p.Cells[v]
+	if metric == FileRatio {
+		return c.FileRatio
+	}
+	return c.MetadataRatio
+}
+
+// xRange returns the sweep's x extent.
+func xRange(s *experiment.Series) (float64, float64) {
+	if len(s.Points) == 0 {
+		return 0, 1
+	}
+	xs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+	}
+	sort.Float64s(xs)
+	return xs[0], xs[len(xs)-1]
+}
+
+// escape sanitizes text for SVG embedding.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

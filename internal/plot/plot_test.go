@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func sampleSeries() *experiment.Series {
+	return &experiment.Series{
+		ID:     "fig3a",
+		Title:  "Fig 3(a): delivery vs Internet-access nodes (NUS)",
+		XLabel: "internet-access fraction",
+		Points: []experiment.Point{
+			{X: 0.1, Cells: map[core.Variant]experiment.Cell{
+				core.MBT:   {MetadataRatio: 0.44, FileRatio: 0.21},
+				core.MBTQ:  {MetadataRatio: 0.39, FileRatio: 0.23},
+				core.MBTQM: {MetadataRatio: 0.14, FileRatio: 0.14},
+			}},
+			{X: 0.9, Cells: map[core.Variant]experiment.Cell{
+				core.MBT:   {MetadataRatio: 0.83, FileRatio: 0.54},
+				core.MBTQ:  {MetadataRatio: 0.72, FileRatio: 0.53},
+				core.MBTQM: {MetadataRatio: 0.15, FileRatio: 0.15},
+			}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := SVG(sampleSeries(), FileRatio)
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"Fig 3(a)",
+		"internet-access fraction",
+		"file delivery ratio",
+		"MBT", "MBT-Q", "MBT-QM",
+		"<polyline",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Errorf("polylines = %d, want one per protocol", got)
+	}
+	// Two sweep points x three protocols = six markers.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+}
+
+func TestSVGMetricSelection(t *testing.T) {
+	meta := SVG(sampleSeries(), MetadataRatio)
+	if !strings.Contains(meta, "metadata delivery ratio") {
+		t.Fatal("metadata metric label missing")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	s := sampleSeries()
+	s.Title = `a < b & "c"`
+	svg := SVG(s, FileRatio)
+	if strings.Contains(svg, `a < b`) {
+		t.Fatal("unescaped < in output")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGEmptySeries(t *testing.T) {
+	s := &experiment.Series{ID: "x", Title: "empty", XLabel: "x"}
+	svg := SVG(s, FileRatio)
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty series produced invalid SVG")
+	}
+}
+
+func TestSVGSinglePoint(t *testing.T) {
+	s := sampleSeries()
+	s.Points = s.Points[:1]
+	svg := SVG(s, MetadataRatio)
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("single-point series lost its markers")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetadataRatio.String() != "metadata delivery ratio" ||
+		FileRatio.String() != "file delivery ratio" {
+		t.Fatal("metric names wrong")
+	}
+	if !strings.Contains(Metric(9).String(), "9") {
+		t.Fatal("unknown metric name wrong")
+	}
+}

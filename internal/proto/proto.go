@@ -1,0 +1,531 @@
+// Package proto implements the full message-level protocol stack of
+// §III-B–§V, the "non-simplified" counterpart of the simulation kernel in
+// the discovery and download packages.
+//
+// A session among co-located nodes proceeds exactly as the paper
+// describes:
+//
+//  1. Hello rounds — every member broadcasts an encoded hello beacon each
+//     second; after two rounds everyone knows its neighbours and its
+//     neighbours' neighbours.
+//  2. Clique agreement — each member independently computes the maximal
+//     cliques of the overheard graph (Bron–Kerbosch) and elects the
+//     coordinator; the session proceeds only if all members agree.
+//  3. Discovery phase — metadata records travel as encoded wire messages;
+//     receivers validate the record and check the publisher signature
+//     before storing.
+//  4. Download phase — file pieces travel as encoded wire messages;
+//     receivers check the piece against the SHA-1 checksum in their
+//     stored metadata before storing.
+//
+// Scheduling follows the same two-phase rules as the simulation kernel
+// (most-requested first, popularity tie-break, popularity-ordered
+// pushes), so on an ideal channel the two implementations produce
+// identical outcomes — a cross-validation the tests assert.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/hello"
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ContentSource supplies piece bytes for files a sender holds. The
+// default synthesizes deterministic content whose hashes match the
+// published metadata (see metadata.SyntheticPiece); a real deployment
+// would read from disk.
+type ContentSource interface {
+	Piece(uri metadata.URI, index, length int) []byte
+}
+
+// SyntheticContent is the default ContentSource.
+type SyntheticContent struct{}
+
+// Piece generates the deterministic content of one piece.
+func (SyntheticContent) Piece(uri metadata.URI, index, length int) []byte {
+	return metadata.SyntheticPiece(uri, index, length)
+}
+
+// Config controls one message-level session.
+type Config struct {
+	// MetadataBudget and PieceBudget bound the data broadcasts.
+	MetadataBudget int
+	PieceBudget    int
+	// QueryDistribution includes cached frequent-contact queries in the
+	// demand (MBT).
+	QueryDistribution bool
+	// SkipQueryLearning leaves frequent-contact query caching to the
+	// caller (which may know exact query expiries); by default the hello
+	// phase caches peers' queries itself under QueryDistribution.
+	SkipQueryLearning bool
+	// Piggyback attaches metadata to each piece message (MBT-QM).
+	Piggyback bool
+	// AutoSelect marks files for download as soon as metadata matching a
+	// member's own query is stored (the simulated user intervention).
+	AutoSelect bool
+	// Keys resolves a publisher name to its key so receivers can verify
+	// metadata signatures. nil disables signature checking.
+	Keys func(publisher string) []byte
+	// Content supplies piece bytes; nil means SyntheticContent.
+	Content ContentSource
+	// Corrupt, if set, may mutate each encoded message before delivery
+	// (failure injection). It receives the message type and the encoded
+	// bytes and returns the bytes actually "received".
+	Corrupt func(t wire.MsgType, b []byte) []byte
+}
+
+// Report summarizes one session.
+type Report struct {
+	// Clique is the agreed member set; Coordinator its elected leader.
+	Clique      []trace.NodeID
+	Coordinator trace.NodeID
+	// Message and byte counters per phase.
+	HelloMessages    int
+	HelloBytes       int
+	MetadataMessages int
+	MetadataBytes    int
+	PieceMessages    int
+	PieceBytes       int
+	// VerifyFailures counts messages rejected by receivers (bad
+	// signature, bad checksum, undecodable).
+	VerifyFailures int
+	// MetadataDelivered and PiecesDelivered count new receiver-side
+	// stores.
+	MetadataDelivered int
+	PiecesDelivered   int
+	// Completions lists (node, uri) pairs whose wanted download
+	// completed during the session.
+	Completions []Completion
+}
+
+// Completion records one finished download.
+type Completion struct {
+	Node trace.NodeID
+	URI  metadata.URI
+}
+
+// Errors.
+var (
+	ErrTooFewMembers = errors.New("proto: session needs at least two members")
+	ErrNoAgreement   = errors.New("proto: members disagree on the clique")
+)
+
+// RunSession executes the message-level protocol among members at now.
+// Member state is updated in place through decoded, verified messages
+// only.
+func RunSession(now simtime.Time, members []*node.Node, cfg Config) (*Report, error) {
+	if len(members) < 2 {
+		return nil, ErrTooFewMembers
+	}
+	if cfg.Content == nil {
+		cfg.Content = SyntheticContent{}
+	}
+	rep := &Report{}
+
+	cliqueIDs, coord, err := helloPhase(now, members, rep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Clique = cliqueIDs
+	rep.Coordinator = coord
+
+	discoveryPhase(now, members, rep, cfg)
+	if cfg.AutoSelect {
+		autoSelect(now, members)
+	}
+	downloadPhase(now, members, rep, cfg)
+	return rep, nil
+}
+
+// helloPhase runs two beacon rounds and verifies clique agreement.
+func helloPhase(now simtime.Time, members []*node.Node, rep *Report, cfg Config) ([]trace.NodeID, trace.NodeID, error) {
+	tables := make(map[trace.NodeID]*hello.Table, len(members))
+	for _, m := range members {
+		tables[m.ID] = hello.NewTable()
+	}
+	heard := make(map[trace.NodeID][]trace.NodeID, len(members))
+
+	for round := 0; round < 2; round++ {
+		at := now.Add(simtime.Duration(round) * hello.Interval)
+		for _, sender := range members {
+			msg := &wire.Hello{
+				From:        sender.ID,
+				Heard:       heard[sender.ID],
+				Queries:     sender.Queries(at),
+				Downloading: sender.WantedIncomplete(),
+			}
+			b := wire.EncodeHello(msg)
+			rep.HelloMessages++
+			rep.HelloBytes += len(b)
+			if cfg.Corrupt != nil {
+				b = cfg.Corrupt(wire.TypeHello, b)
+			}
+			decoded, err := wire.DecodeHello(b)
+			if err != nil {
+				rep.VerifyFailures++
+				continue
+			}
+			for _, receiver := range members {
+				if receiver.ID == sender.ID {
+					continue
+				}
+				tables[receiver.ID].Observe(at, hello.Message{
+					From:        decoded.From,
+					Heard:       decoded.Heard,
+					Queries:     decoded.Queries,
+					Downloading: decoded.Downloading,
+				})
+				// MBT: cache the queries of frequent contacts. The
+				// hello does not carry expiries; receivers bound the
+				// cache entry by the longest file TTL they could care
+				// about — here, the end of the session's day plus the
+				// metadata they later verify. We use a conservative
+				// one-week horizon.
+				if cfg.QueryDistribution && !cfg.SkipQueryLearning {
+					receiver.LearnPeerQueries(decoded.From, decoded.Queries,
+						at.Add(7*simtime.Day))
+				}
+			}
+		}
+		for _, m := range members {
+			heard[m.ID] = tables[m.ID].Neighbors(at)
+		}
+	}
+
+	// Clique agreement: every member computes its maximal cliques and
+	// must find the same full-session clique and coordinator.
+	after := now.Add(2 * hello.Interval)
+	var agreed []trace.NodeID
+	for _, m := range members {
+		graph := tables[m.ID].Graph(after, m.ID)
+		cliques := clique.MaximalCliques(graph)
+		mine := clique.Containing(cliques, m.ID)
+		if len(mine) != 1 {
+			return nil, -1, fmt.Errorf("node %d sees %d cliques: %w", m.ID, len(mine), ErrNoAgreement)
+		}
+		if agreed == nil {
+			agreed = mine[0]
+		} else if !equalIDs(agreed, mine[0]) {
+			return nil, -1, fmt.Errorf("node %d disagrees: %w", m.ID, ErrNoAgreement)
+		}
+	}
+	if len(agreed) != len(members) {
+		return nil, -1, fmt.Errorf("clique %v misses members: %w", agreed, ErrNoAgreement)
+	}
+	return agreed, clique.Coordinator(agreed), nil
+}
+
+func equalIDs(a, b []trace.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// metaCandidate mirrors the discovery scheduler's candidate.
+type metaCandidate struct {
+	sm         *node.StoredMetadata
+	holder     *node.Node
+	lackers    []*node.Node
+	requesters int
+	ownCount   int
+}
+
+// discoveryPhase broadcasts metadata as wire messages under the
+// coordinator's two-phase order, recomputing after every broadcast.
+func discoveryPhase(now simtime.Time, members []*node.Node, rep *Report, cfg Config) {
+	for sent := 0; sent < cfg.MetadataBudget; sent++ {
+		c := bestMetadata(now, members, cfg)
+		if c == nil {
+			return
+		}
+		payload := &wire.Metadata{Popularity: c.sm.Popularity, Record: *c.sm.Meta}
+		b := wire.EncodeMetadata(payload)
+		rep.MetadataMessages++
+		rep.MetadataBytes += len(b)
+		if cfg.Corrupt != nil {
+			b = cfg.Corrupt(wire.TypeMetadata, b)
+		}
+		decoded, err := wire.DecodeMetadata(b)
+		if err != nil {
+			rep.VerifyFailures++
+			continue
+		}
+		if !verifyMetadata(&decoded.Record, cfg) {
+			rep.VerifyFailures++
+			continue
+		}
+		for _, m := range c.lackers {
+			if m.AddMetadata(&decoded.Record, decoded.Popularity, now) {
+				rep.MetadataDelivered++
+			}
+		}
+	}
+}
+
+// verifyMetadata runs receiver-side validation: structure and, when a
+// keyring is available, the publisher signature.
+func verifyMetadata(rec *metadata.Metadata, cfg Config) bool {
+	if rec.Validate() != nil {
+		return false
+	}
+	if cfg.Keys != nil {
+		key := cfg.Keys(rec.Publisher)
+		if key == nil || !rec.Verify(key) {
+			return false
+		}
+	}
+	return true
+}
+
+// bestMetadata picks the next record per the two-phase rule.
+func bestMetadata(now simtime.Time, members []*node.Node, cfg Config) *metaCandidate {
+	byURI := make(map[metadata.URI]*metaCandidate)
+	for _, m := range members {
+		if m.FreeRider {
+			continue
+		}
+		for _, sm := range m.MetadataStore() {
+			if sm.Meta.Expired(now) {
+				continue
+			}
+			c := byURI[sm.Meta.URI]
+			if c == nil {
+				byURI[sm.Meta.URI] = &metaCandidate{sm: sm, holder: m}
+			} else if sm.Popularity > c.sm.Popularity {
+				c.sm = sm
+			}
+		}
+	}
+	var cands []*metaCandidate
+	for _, c := range byURI {
+		for _, m := range members {
+			if m.HasMetadata(c.sm.Meta.URI) {
+				continue
+			}
+			c.lackers = append(c.lackers, m)
+			if matchesAny(c.sm.Meta, m.Queries(now)) {
+				c.requesters++
+				c.ownCount++
+			} else if cfg.QueryDistribution && matchesAny(c.sm.Meta, m.PeerQueries(now)) {
+				c.requesters++
+			}
+		}
+		if len(c.lackers) > 0 {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.ownCount != b.ownCount {
+			return a.ownCount > b.ownCount
+		}
+		if a.requesters != b.requesters {
+			return a.requesters > b.requesters
+		}
+		if a.sm.Popularity != b.sm.Popularity {
+			return a.sm.Popularity > b.sm.Popularity
+		}
+		return a.sm.Meta.URI < b.sm.Meta.URI
+	})
+	return cands[0]
+}
+
+func matchesAny(rec *metadata.Metadata, queries []string) bool {
+	for _, q := range queries {
+		if rec.MatchesQuery(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// autoSelect performs the user's selection on every member.
+func autoSelect(now simtime.Time, members []*node.Node) {
+	for _, m := range members {
+		for _, q := range m.Queries(now) {
+			for _, sm := range m.MatchingQuery(q) {
+				m.Select(sm.Meta.URI)
+			}
+		}
+	}
+}
+
+// pieceCandidate mirrors the download scheduler's candidate.
+type pieceCandidate struct {
+	uri        metadata.URI
+	piece      int
+	total      int
+	popularity float64
+	holder     *node.Node
+	lackers    []*node.Node
+	requesters int
+}
+
+// downloadPhase broadcasts pieces as wire messages under the
+// coordinator's two-phase order, verifying checksums receiver-side.
+func downloadPhase(now simtime.Time, members []*node.Node, rep *Report, cfg Config) {
+	for sent := 0; sent < cfg.PieceBudget; sent++ {
+		c := bestPiece(now, members)
+		if c == nil {
+			return
+		}
+		length := pieceLength(c, members)
+		msg := &wire.Piece{
+			URI:   c.uri,
+			Index: c.piece,
+			Total: c.total,
+			Data:  cfg.Content.Piece(c.uri, c.piece, length),
+		}
+		if cfg.Piggyback {
+			if sm := c.holder.Metadata(c.uri); sm != nil {
+				msg.Piggyback = &wire.Metadata{Popularity: sm.Popularity, Record: *sm.Meta}
+			}
+		}
+		b := wire.EncodePiece(msg)
+		rep.PieceMessages++
+		rep.PieceBytes += len(b)
+		if cfg.Corrupt != nil {
+			b = cfg.Corrupt(wire.TypePiece, b)
+		}
+		decoded, err := wire.DecodePiece(b)
+		if err != nil {
+			rep.VerifyFailures++
+			continue
+		}
+		rejected := false
+		for _, m := range c.lackers {
+			if decoded.Piggyback != nil && verifyMetadata(&decoded.Piggyback.Record, cfg) {
+				m.AddMetadata(&decoded.Piggyback.Record, decoded.Piggyback.Popularity, now)
+			}
+			// Verify against the receiver's own metadata when it has it;
+			// otherwise the piece is cached unverified, like a real
+			// client caching an unidentified push.
+			if sm := m.Metadata(decoded.URI); sm != nil {
+				if !decoded.Verify(sm.Meta) {
+					rejected = true
+					continue
+				}
+			}
+			if m.AddPiece(decoded.URI, decoded.Index, decoded.Total) {
+				rep.PiecesDelivered++
+				ps := m.Pieces(decoded.URI)
+				if ps.Want && ps.Complete() {
+					rep.Completions = append(rep.Completions, Completion{Node: m.ID, URI: decoded.URI})
+				}
+			}
+		}
+		if rejected {
+			rep.VerifyFailures++
+		}
+	}
+}
+
+// pieceLength derives the byte length of the piece from any member's
+// metadata, defaulting to a nominal size when nobody can tell.
+func pieceLength(c *pieceCandidate, members []*node.Node) int {
+	for _, m := range members {
+		if sm := m.Metadata(c.uri); sm != nil {
+			return sm.Meta.PieceLen(c.piece)
+		}
+	}
+	return 256
+}
+
+// bestPiece picks the next piece per the two-phase rule.
+func bestPiece(now simtime.Time, members []*node.Node) *pieceCandidate {
+	type key struct {
+		uri   metadata.URI
+		piece int
+	}
+	totals := make(map[metadata.URI]int)
+	pops := make(map[metadata.URI]float64)
+	for _, m := range members {
+		for _, sm := range m.MetadataStore() {
+			if !sm.Meta.Expired(now) {
+				totals[sm.Meta.URI] = sm.Meta.NumPieces()
+				if sm.Popularity > pops[sm.Meta.URI] {
+					pops[sm.Meta.URI] = sm.Popularity
+				}
+			}
+		}
+		for _, uri := range m.PieceURIs() {
+			if _, ok := totals[uri]; !ok {
+				totals[uri] = m.Pieces(uri).Total()
+			}
+		}
+	}
+	byKey := make(map[key]*pieceCandidate)
+	for uri, total := range totals {
+		for i := 0; i < total; i++ {
+			var holder *node.Node
+			for _, m := range members {
+				if m.FreeRider {
+					continue
+				}
+				if ps := m.Pieces(uri); ps != nil && ps.Have(i) {
+					if holder == nil || m.ID < holder.ID {
+						holder = m
+					}
+				}
+			}
+			if holder == nil {
+				continue
+			}
+			c := &pieceCandidate{
+				uri: uri, piece: i, total: total,
+				popularity: pops[uri], holder: holder,
+			}
+			for _, m := range members {
+				ps := m.Pieces(uri)
+				if ps != nil && ps.Have(i) {
+					continue
+				}
+				c.lackers = append(c.lackers, m)
+				if ps != nil && ps.Want {
+					c.requesters++
+				}
+			}
+			if len(c.lackers) > 0 {
+				byKey[key{uri, i}] = c
+			}
+		}
+	}
+	if len(byKey) == 0 {
+		return nil
+	}
+	cands := make([]*pieceCandidate, 0, len(byKey))
+	for _, c := range byKey {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.requesters != b.requesters {
+			return a.requesters > b.requesters
+		}
+		if a.popularity != b.popularity {
+			return a.popularity > b.popularity
+		}
+		if a.uri != b.uri {
+			return a.uri < b.uri
+		}
+		return a.piece < b.piece
+	})
+	return cands[0]
+}

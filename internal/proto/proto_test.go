@@ -1,0 +1,316 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/discovery"
+	"repro/internal/download"
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+var testKeys = map[string][]byte{
+	"FOX": []byte("fox-key"),
+	"BBC": []byte("bbc-key"),
+}
+
+func keyring(publisher string) []byte { return testKeys[publisher] }
+
+func makeMeta(id metadata.FileID, name, publisher string) *metadata.Metadata {
+	return metadata.NewSynthetic(id, name, publisher, "desc", 1024, 256,
+		0, simtime.Days(3), testKeys[publisher])
+}
+
+func expiry() simtime.Time { return simtime.Time(simtime.Days(3)) }
+
+func baseConfig() Config {
+	return Config{
+		MetadataBudget: 10,
+		PieceBudget:    20,
+		AutoSelect:     true,
+		Keys:           keyring,
+	}
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz night", "FOX")
+	a.AddMetadata(m, 0.5, 0)
+	a.GrantFullFile(m.URI, m.NumPieces())
+	b.AddQuery("jazz", expiry())
+
+	rep, err := RunSession(0, []*node.Node{a, b}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clique) != 2 || rep.Coordinator != 0 {
+		t.Fatalf("clique %v coordinator %v", rep.Clique, rep.Coordinator)
+	}
+	if rep.VerifyFailures != 0 {
+		t.Fatalf("verify failures = %d", rep.VerifyFailures)
+	}
+	if !b.HasMetadata(m.URI) {
+		t.Fatal("metadata did not travel")
+	}
+	if !b.HasFullFile(m.URI) {
+		t.Fatal("file did not complete")
+	}
+	if len(rep.Completions) != 1 || rep.Completions[0].Node != 1 {
+		t.Fatalf("completions = %v", rep.Completions)
+	}
+	if rep.HelloMessages != 4 { // 2 members x 2 rounds
+		t.Fatalf("hello messages = %d", rep.HelloMessages)
+	}
+	if rep.MetadataBytes == 0 || rep.PieceBytes == 0 || rep.HelloBytes == 0 {
+		t.Fatal("byte counters not populated")
+	}
+}
+
+func TestSessionBudgets(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	for i := 0; i < 8; i++ {
+		a.AddMetadata(makeMeta(metadata.FileID(i), "show", "FOX"), 0.5, 0)
+	}
+	cfg := baseConfig()
+	cfg.MetadataBudget = 3
+	cfg.PieceBudget = 0
+	rep, err := RunSession(0, []*node.Node{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MetadataMessages != 3 {
+		t.Fatalf("metadata messages = %d", rep.MetadataMessages)
+	}
+	if rep.PieceMessages != 0 {
+		t.Fatalf("piece messages = %d", rep.PieceMessages)
+	}
+}
+
+func TestSessionRejectsSingleton(t *testing.T) {
+	if _, err := RunSession(0, []*node.Node{node.New(0, false)}, baseConfig()); !errors.Is(err, ErrTooFewMembers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForgedMetadataRejected(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	forged := makeMeta(1, "fake blockbuster", "FOX")
+	forged.Publisher = "BBC" // signature no longer matches claimed publisher
+	a.AddMetadata(forged, 0.9, 0)
+
+	rep, err := RunSession(0, []*node.Node{a, b}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifyFailures == 0 {
+		t.Fatal("forged metadata accepted")
+	}
+	if b.HasMetadata(forged.URI) {
+		t.Fatal("forged metadata stored")
+	}
+}
+
+func TestCorruptedPieceRejected(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz", "FOX")
+	a.AddMetadata(m, 0.5, 0)
+	a.GrantFullFile(m.URI, m.NumPieces())
+	b.AddMetadata(m, 0.5, 0)
+	b.Select(m.URI)
+
+	cfg := baseConfig()
+	cfg.MetadataBudget = 0
+	cfg.Corrupt = func(t wire.MsgType, buf []byte) []byte {
+		if t != wire.TypePiece {
+			return buf
+		}
+		// Corrupt a byte inside the Data payload.
+		out := append([]byte(nil), buf...)
+		out[len(out)-20] ^= 0xFF
+		return out
+	}
+	rep, err := RunSession(0, []*node.Node{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifyFailures == 0 {
+		t.Fatal("corrupted pieces accepted")
+	}
+	if b.Pieces(m.URI).Count() != 0 {
+		t.Fatalf("receiver stored %d corrupted pieces", b.Pieces(m.URI).Count())
+	}
+}
+
+func TestUndecodableMessagesCounted(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	a.AddMetadata(makeMeta(1, "x", "FOX"), 0.5, 0)
+	cfg := baseConfig()
+	cfg.Corrupt = func(t wire.MsgType, buf []byte) []byte {
+		if t != wire.TypeMetadata {
+			return buf
+		}
+		return buf[:1]
+	}
+	rep, err := RunSession(0, []*node.Node{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifyFailures == 0 {
+		t.Fatal("truncation not detected")
+	}
+	if b.HasMetadata("dtn://files/1") {
+		t.Fatal("metadata stored from truncated message")
+	}
+}
+
+func TestFreeRiderNeitherHoldsNorSends(t *testing.T) {
+	rider := node.New(0, false)
+	rider.FreeRider = true
+	b := node.New(1, false)
+	hoard := makeMeta(1, "hoard", "FOX")
+	rider.AddMetadata(hoard, 0.9, 0)
+	rider.GrantFullFile(hoard.URI, hoard.NumPieces())
+
+	rep, err := RunSession(0, []*node.Node{rider, b}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MetadataMessages != 0 || rep.PieceMessages != 0 {
+		t.Fatalf("free-rider transmitted: %d metadata, %d pieces",
+			rep.MetadataMessages, rep.PieceMessages)
+	}
+	if b.HasMetadata(hoard.URI) {
+		t.Fatal("hoarded metadata leaked")
+	}
+}
+
+func TestPiggybackDeliversMetadata(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	m := makeMeta(1, "jazz", "FOX")
+	a.AddMetadata(m, 0.5, 0)
+	a.GrantFullFile(m.URI, m.NumPieces())
+
+	cfg := baseConfig()
+	cfg.MetadataBudget = 0
+	cfg.Piggyback = true
+	if _, err := RunSession(0, []*node.Node{a, b}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasMetadata(m.URI) {
+		t.Fatal("piggybacked metadata not stored")
+	}
+}
+
+func TestQueryDistributionCachesFrequentContactQueries(t *testing.T) {
+	a := node.New(0, false)
+	b := node.New(1, false)
+	a.SetFrequent([]trace.NodeID{1})
+	b.AddQuery("jazz", expiry())
+
+	cfg := baseConfig()
+	cfg.QueryDistribution = true
+	if _, err := RunSession(0, []*node.Node{a, b}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PeerQueries(simtime.Time(simtime.Hour)); len(got) != 1 || got[0] != "jazz" {
+		t.Fatalf("cached peer queries = %v", got)
+	}
+}
+
+// TestMatchesSimulationKernel cross-validates the message-level stack
+// against the simulation kernel: identical initial states must end in
+// identical stores on an ideal channel.
+func TestMatchesSimulationKernel(t *testing.T) {
+	build := func() []*node.Node {
+		a := node.New(0, false)
+		b := node.New(1, false)
+		c := node.New(2, false)
+		for i := 0; i < 6; i++ {
+			m := makeMeta(metadata.FileID(i), "show", "FOX")
+			a.AddMetadata(m, float64(i)/10, 0)
+			if i < 3 {
+				a.GrantFullFile(m.URI, m.NumPieces())
+			}
+		}
+		b.AddQuery("f2", expiry())
+		c.AddQuery("f4", expiry())
+		return []*node.Node{a, b, c}
+	}
+
+	// Message-level stack.
+	protoNodes := build()
+	cfg := baseConfig()
+	cfg.MetadataBudget, cfg.PieceBudget = 4, 6
+	if _, err := RunSession(0, protoNodes, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulation kernel with the same budgets and selection step.
+	kernelNodes := build()
+	discovery.Exchange(0, kernelNodes, discovery.Config{Budget: 4})
+	autoSelect(0, kernelNodes)
+	download.Exchange(0, kernelNodes, download.Config{PieceBudget: 6})
+
+	for i := range protoNodes {
+		p, k := protoNodes[i], kernelNodes[i]
+		pStore, kStore := p.MetadataStore(), k.MetadataStore()
+		if len(pStore) != len(kStore) {
+			t.Fatalf("node %d: %d vs %d metadata", i, len(pStore), len(kStore))
+		}
+		for j := range pStore {
+			if pStore[j].Meta.URI != kStore[j].Meta.URI {
+				t.Fatalf("node %d: metadata %v vs %v", i, pStore[j].Meta.URI, kStore[j].Meta.URI)
+			}
+		}
+		pURIs, kURIs := p.PieceURIs(), k.PieceURIs()
+		if len(pURIs) != len(kURIs) {
+			t.Fatalf("node %d: %d vs %d piece sets", i, len(pURIs), len(kURIs))
+		}
+		for j := range pURIs {
+			if pURIs[j] != kURIs[j] {
+				t.Fatalf("node %d: piece uri %v vs %v", i, pURIs[j], kURIs[j])
+			}
+			if p.Pieces(pURIs[j]).Count() != k.Pieces(kURIs[j]).Count() {
+				t.Fatalf("node %d uri %v: %d vs %d pieces", i, pURIs[j],
+					p.Pieces(pURIs[j]).Count(), k.Pieces(kURIs[j]).Count())
+			}
+		}
+	}
+}
+
+func TestLargerCliqueAgreement(t *testing.T) {
+	var members []*node.Node
+	for i := 0; i < 6; i++ {
+		members = append(members, node.New(trace.NodeID(i), false))
+	}
+	members[0].AddMetadata(makeMeta(1, "x", "FOX"), 0.5, 0)
+	rep, err := RunSession(0, members, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clique) != 6 {
+		t.Fatalf("clique = %v", rep.Clique)
+	}
+	if rep.Coordinator != 0 {
+		t.Fatalf("coordinator = %v, want lowest ID", rep.Coordinator)
+	}
+	// One broadcast reaches all five lackers.
+	for _, m := range members[1:] {
+		if !m.HasMetadata("dtn://files/1") {
+			t.Fatalf("member %d missed the broadcast", m.ID)
+		}
+	}
+	if rep.MetadataMessages != 1 {
+		t.Fatalf("metadata messages = %d, want a single broadcast", rep.MetadataMessages)
+	}
+}

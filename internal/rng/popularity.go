@@ -1,0 +1,60 @@
+package rng
+
+import "math"
+
+// Popularity samples a file popularity in (0, 1] from the distribution the
+// paper specifies for newly generated files: a truncated exponential with
+// probability density proportional to lambda*e^(-lambda*x) on [0, 1].
+//
+// The paper gives the inverse-CDF form
+//
+//	p = -log(1 - x*(1 - e^(-lambda))) / lambda
+//
+// with x uniform on [0, 1). The mean is approximately 1/lambda for large
+// lambda; the paper sets lambda = n/2 for n new files per day so that each
+// node generates on average n * (1/lambda) = 2 queries per day.
+func (r *Rand) Popularity(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Popularity requires lambda > 0")
+	}
+	x := r.Float64()
+	p := -math.Log(1-x*(1-math.Exp(-lambda))) / lambda
+	// Guard against rounding pushing the result infinitesimally out of
+	// range; popularity is used as a probability.
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ZipfPopularity samples a popularity for the file at the given
+// popularity rank (0 = most popular) under a Zipf law with exponent
+// alpha, scaled so rank 0 has popularity pMax. Used as an alternative
+// workload model: the paper's truncated exponential draws independent
+// popularities; Zipf imposes the heavy-tailed rank structure observed in
+// web and P2P catalogs.
+func ZipfPopularity(rank int, alpha, pMax float64) float64 {
+	if rank < 0 || alpha <= 0 || pMax <= 0 {
+		panic("rng: ZipfPopularity requires rank >= 0, alpha > 0, pMax > 0")
+	}
+	p := pMax / math.Pow(float64(rank+1), alpha)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// PopularityMean returns the exact mean of the truncated exponential
+// popularity distribution with the given lambda. Used by tests and by
+// workload sizing (expected queries per node per day = files/day * mean).
+func PopularityMean(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: PopularityMean requires lambda > 0")
+	}
+	// E[p] = 1/lambda - e^(-lambda) / (1 - e^(-lambda)).
+	e := math.Exp(-lambda)
+	return 1/lambda - e/(1-e)
+}

@@ -1,0 +1,350 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must not replay the parent's stream.
+	p := New(7)
+	p.Uint64() // account for the draw consumed by Split
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("draw %d: child replays parent stream", i)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d: splits of identical parents diverge", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Fatalf("bucket %d: count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(10)
+	vals := []int{5, 6, 7, 8, 9}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.ShuffleInts(vals)
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 10000; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestPopularityRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for _, lambda := range []float64{0.5, 1, 5, 25, 50} {
+			p := r.Popularity(lambda)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopularityMeanMatchesSamples(t *testing.T) {
+	for _, lambda := range []float64{1, 5, 25} {
+		r := New(20)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Popularity(lambda)
+		}
+		got := sum / n
+		want := PopularityMean(lambda)
+		if math.Abs(got-want) > 0.01*math.Max(want, 0.01)+0.002 {
+			t.Fatalf("lambda=%v: sample mean %v, analytic %v", lambda, got, want)
+		}
+	}
+}
+
+func TestPopularityMeanApproxInverseLambda(t *testing.T) {
+	// The paper approximates the mean as 1/lambda. The error term is
+	// e^(-lambda)/(1-e^(-lambda)), so the approximation tightens quickly:
+	// within 4% at lambda=5 (10 files/day) and within 0.01% at lambda=25.
+	tests := []struct {
+		lambda, relTol float64
+	}{
+		{5, 0.04},
+		{25, 1e-4},
+		{50, 1e-8},
+	}
+	for _, tt := range tests {
+		mean := PopularityMean(tt.lambda)
+		if math.Abs(mean-1/tt.lambda) > tt.relTol/tt.lambda {
+			t.Fatalf("lambda=%v: mean %v not ~ 1/lambda=%v", tt.lambda, mean, 1/tt.lambda)
+		}
+	}
+}
+
+func TestPopularityPanicsOnBadLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Popularity(0) did not panic")
+		}
+	}()
+	New(1).Popularity(0)
+}
+
+func TestPopularityMeanPanicsOnBadLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopularityMean(-1) did not panic")
+		}
+	}()
+	PopularityMean(-1)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func TestZipfPopularity(t *testing.T) {
+	// Rank 0 gets the head popularity; ranks decay monotonically.
+	if got := ZipfPopularity(0, 1, 0.5); got != 0.5 {
+		t.Fatalf("head popularity = %v, want 0.5", got)
+	}
+	prev := 2.0
+	for rank := 0; rank < 20; rank++ {
+		p := ZipfPopularity(rank, 0.8, 0.5)
+		if p <= 0 || p > 1 || p >= prev {
+			t.Fatalf("rank %d: p = %v (prev %v)", rank, p, prev)
+		}
+		prev = p
+	}
+	// Clamped to 1 for degenerate head values.
+	if got := ZipfPopularity(0, 1, 1); got != 1 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+func TestZipfPopularityPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ZipfPopularity(-1, 1, 0.5) },
+		func() { ZipfPopularity(0, 0, 0.5) },
+		func() { ZipfPopularity(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,179 @@
+package routing
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Direct is direct delivery: the source keeps its single copy until it
+// meets the destination. The cheapest and slowest baseline.
+type Direct struct{}
+
+// Name implements Protocol.
+func (Direct) Name() string { return "direct" }
+
+// Init implements Protocol.
+func (Direct) Init(int, []Message) {}
+
+// Encounter implements Protocol.
+func (Direct) Encounter(simtime.Time, trace.NodeID, trace.NodeID) {}
+
+// Relay implements Protocol: never replicate (delivery to the destination
+// is handled by the engine).
+func (Direct) Relay(simtime.Time, trace.NodeID, trace.NodeID, *Message) (bool, bool) {
+	return false, true
+}
+
+// Epidemic floods: every contact copies every message the peer lacks.
+// Upper-bounds delivery ratio and delay at maximal overhead.
+type Epidemic struct{}
+
+// Name implements Protocol.
+func (Epidemic) Name() string { return "epidemic" }
+
+// Init implements Protocol.
+func (Epidemic) Init(int, []Message) {}
+
+// Encounter implements Protocol.
+func (Epidemic) Encounter(simtime.Time, trace.NodeID, trace.NodeID) {}
+
+// Relay implements Protocol: always replicate, always keep.
+func (Epidemic) Relay(simtime.Time, trace.NodeID, trace.NodeID, *Message) (bool, bool) {
+	return true, true
+}
+
+// SprayAndWait is binary spray-and-wait: L logical copies start at the
+// source; a carrier with more than one token gives half to the peer;
+// with one token it waits for the destination.
+type SprayAndWait struct {
+	// L is the initial copy count (must be >= 1).
+	L int
+
+	tokens []map[trace.NodeID]int
+}
+
+// Name implements Protocol.
+func (s *SprayAndWait) Name() string { return "spray-and-wait" }
+
+// Init implements Protocol.
+func (s *SprayAndWait) Init(_ int, msgs []Message) {
+	if s.L < 1 {
+		s.L = 1
+	}
+	s.tokens = make([]map[trace.NodeID]int, len(msgs))
+	for i, m := range msgs {
+		s.tokens[i] = map[trace.NodeID]int{m.Src: s.L}
+	}
+}
+
+// Encounter implements Protocol.
+func (s *SprayAndWait) Encounter(simtime.Time, trace.NodeID, trace.NodeID) {}
+
+// Relay implements Protocol: split tokens binarily.
+func (s *SprayAndWait) Relay(_ simtime.Time, carrier, peer trace.NodeID, msg *Message) (bool, bool) {
+	t := s.tokens[msg.ID][carrier]
+	if t <= 1 {
+		return false, true // wait phase
+	}
+	half := t / 2
+	s.tokens[msg.ID][carrier] = t - half
+	s.tokens[msg.ID][peer] = half
+	return true, true
+}
+
+// PRoPHET default parameters, from Lindgren et al.
+const (
+	prophetPInit = 0.75
+	prophetBeta  = 0.25
+	prophetGamma = 0.98
+	// prophetAgingUnit is the time quantum for aging predictabilities.
+	prophetAgingUnit = simtime.Hour
+)
+
+// Prophet is probabilistic routing using the history of encounters and
+// transitivity: each node maintains a delivery predictability per
+// destination, aged over time, boosted on encounters, and spread
+// transitively; a carrier replicates to peers with strictly higher
+// predictability for the destination.
+type Prophet struct {
+	p        []map[trace.NodeID]float64 // p[a][b] = P(a delivers to b)
+	lastAged []simtime.Time
+}
+
+// Name implements Protocol.
+func (p *Prophet) Name() string { return "prophet" }
+
+// Init implements Protocol.
+func (p *Prophet) Init(nodes int, _ []Message) {
+	p.p = make([]map[trace.NodeID]float64, nodes)
+	p.lastAged = make([]simtime.Time, nodes)
+	for i := range p.p {
+		p.p[i] = make(map[trace.NodeID]float64)
+	}
+}
+
+// age decays a node's predictabilities by gamma^k for k elapsed units.
+func (p *Prophet) age(now simtime.Time, n trace.NodeID) {
+	elapsed := now.Sub(p.lastAged[n])
+	if elapsed <= 0 {
+		return
+	}
+	k := float64(elapsed) / float64(prophetAgingUnit)
+	factor := math.Pow(prophetGamma, k)
+	for dst, v := range p.p[n] {
+		v *= factor
+		if v < 1e-6 {
+			delete(p.p[n], dst)
+		} else {
+			p.p[n][dst] = v
+		}
+	}
+	p.lastAged[n] = now
+}
+
+// Encounter implements Protocol: direct boost plus transitivity.
+func (p *Prophet) Encounter(now simtime.Time, a, b trace.NodeID) {
+	p.age(now, a)
+	p.age(now, b)
+	// Direct update both ways.
+	p.p[a][b] += (1 - p.p[a][b]) * prophetPInit
+	p.p[b][a] += (1 - p.p[b][a]) * prophetPInit
+	// Transitivity: P(a,c) >= P(a,b)*P(b,c)*beta and symmetric.
+	for c, pbc := range p.p[b] {
+		if c == a {
+			continue
+		}
+		if v := p.p[a][b] * pbc * prophetBeta; v > p.p[a][c] {
+			p.p[a][c] = v
+		}
+	}
+	for c, pac := range p.p[a] {
+		if c == b {
+			continue
+		}
+		if v := p.p[b][a] * pac * prophetBeta; v > p.p[b][c] {
+			p.p[b][c] = v
+		}
+	}
+}
+
+// Relay implements Protocol: replicate when the peer is a strictly
+// better custodian.
+func (p *Prophet) Relay(_ simtime.Time, carrier, peer trace.NodeID, msg *Message) (bool, bool) {
+	return p.p[peer][msg.Dst] > p.p[carrier][msg.Dst], true
+}
+
+// Predictability exposes P(node delivers to dst) for tests and tools.
+func (p *Prophet) Predictability(node, dst trace.NodeID) float64 {
+	if int(node) >= len(p.p) {
+		return 0
+	}
+	return p.p[node][dst]
+}
+
+// All returns one instance of every protocol, for comparison harnesses.
+func All() []Protocol {
+	return []Protocol{Direct{}, Epidemic{}, &SprayAndWait{L: 8}, &Prophet{}}
+}

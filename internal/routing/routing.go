@@ -1,0 +1,214 @@
+// Package routing implements store-carry-forward unicast routing over a
+// contact trace — the DTN substrate the paper builds on (§II-A) and the
+// mechanism behind the alternative design it contrasts with (sending
+// queries to the Internet via DTN nodes, §II-D).
+//
+// Four classic protocols are provided: direct delivery, epidemic
+// flooding, binary spray-and-wait, and PRoPHET (probabilistic routing
+// with encounter-history predictabilities). A deterministic simulator
+// replays a trace, drives the chosen protocol, and reports delivery
+// ratio, delay and transmission overhead.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Message is one unicast bundle.
+type Message struct {
+	// ID is a dense index into the workload.
+	ID int
+	// Src creates the message; Dst must receive it.
+	Src, Dst trace.NodeID
+	// Created and Expires bound the message's life.
+	Created simtime.Time
+	Expires simtime.Time
+}
+
+// Protocol decides replication during contacts.
+type Protocol interface {
+	// Name labels the protocol in results.
+	Name() string
+	// Init resets protocol state for a population and workload.
+	Init(nodes int, msgs []Message)
+	// Encounter updates protocol state when a and b meet (called once
+	// per unordered pair per session, before relay decisions).
+	Encounter(now simtime.Time, a, b trace.NodeID)
+	// Relay decides whether carrier gives peer a copy of msg, and
+	// whether the carrier keeps its own copy afterwards.
+	Relay(now simtime.Time, carrier, peer trace.NodeID, msg *Message) (give, keep bool)
+}
+
+// Config parameterizes one routing simulation.
+type Config struct {
+	// Trace supplies the contact schedule.
+	Trace *trace.Trace
+	// Messages is the unicast workload (see GenerateWorkload).
+	Messages []Message
+	// Protocol is the router under test.
+	Protocol Protocol
+	// PerContactBudget bounds transfers per direction per contact pair
+	// (0 = unlimited).
+	PerContactBudget int
+}
+
+// Result summarizes a routing run.
+type Result struct {
+	Protocol  string
+	Total     int
+	Delivered int
+	// Ratio is Delivered/Total.
+	Ratio float64
+	// MeanDelay averages creation-to-delivery over delivered messages.
+	MeanDelay simtime.Duration
+	// Transmissions counts every copy transfer (including the final
+	// delivery hop); Overhead is Transmissions per delivered message.
+	Transmissions int
+	Overhead      float64
+}
+
+// Errors.
+var (
+	ErrConfig = errors.New("routing: invalid config")
+)
+
+// Simulate replays the trace and routes the workload.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrConfig)
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("nil protocol: %w", ErrConfig)
+	}
+	for i, m := range cfg.Messages {
+		if m.ID != i {
+			return nil, fmt.Errorf("message %d has ID %d: %w", i, m.ID, ErrConfig)
+		}
+		if int(m.Src) >= cfg.Trace.NodeCount || int(m.Dst) >= cfg.Trace.NodeCount ||
+			m.Src < 0 || m.Dst < 0 || m.Src == m.Dst {
+			return nil, fmt.Errorf("message %d endpoints %d->%d: %w", i, m.Src, m.Dst, ErrConfig)
+		}
+		if m.Expires <= m.Created {
+			return nil, fmt.Errorf("message %d lifetime: %w", i, ErrConfig)
+		}
+	}
+
+	cfg.Protocol.Init(cfg.Trace.NodeCount, cfg.Messages)
+
+	// copies[msg] is the set of holders; deliveredAt[msg] < 0 until done.
+	copies := make([]map[trace.NodeID]bool, len(cfg.Messages))
+	deliveredAt := make([]simtime.Time, len(cfg.Messages))
+	for i, m := range cfg.Messages {
+		copies[i] = map[trace.NodeID]bool{m.Src: true}
+		deliveredAt[i] = -1
+	}
+	transmissions := 0
+
+	for _, sess := range cfg.Trace.Sessions {
+		now := sess.Start
+		for i, a := range sess.Nodes {
+			for _, b := range sess.Nodes[i+1:] {
+				cfg.Protocol.Encounter(now, a, b)
+				transmissions += relayDirection(cfg, now, a, b, copies, deliveredAt)
+				transmissions += relayDirection(cfg, now, b, a, copies, deliveredAt)
+			}
+		}
+	}
+
+	res := &Result{
+		Protocol:      cfg.Protocol.Name(),
+		Total:         len(cfg.Messages),
+		Transmissions: transmissions,
+	}
+	var totalDelay simtime.Duration
+	for i, at := range deliveredAt {
+		if at >= 0 {
+			res.Delivered++
+			totalDelay += at.Sub(cfg.Messages[i].Created)
+		}
+	}
+	if res.Total > 0 {
+		res.Ratio = float64(res.Delivered) / float64(res.Total)
+	}
+	if res.Delivered > 0 {
+		res.MeanDelay = totalDelay / simtime.Duration(res.Delivered)
+		res.Overhead = float64(res.Transmissions) / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// relayDirection transfers messages from carrier to peer, returning the
+// number of transmissions.
+func relayDirection(cfg Config, now simtime.Time, carrier, peer trace.NodeID,
+	copies []map[trace.NodeID]bool, deliveredAt []simtime.Time) int {
+	sent := 0
+	for i := range cfg.Messages {
+		if cfg.PerContactBudget > 0 && sent >= cfg.PerContactBudget {
+			break
+		}
+		m := &cfg.Messages[i]
+		if deliveredAt[i] >= 0 || now < m.Created || now >= m.Expires {
+			continue
+		}
+		holders := copies[i]
+		if !holders[carrier] || holders[peer] {
+			continue
+		}
+		if peer == m.Dst {
+			deliveredAt[i] = now
+			holders[peer] = true
+			sent++
+			continue
+		}
+		give, keep := cfg.Protocol.Relay(now, carrier, peer, m)
+		if !give {
+			continue
+		}
+		holders[peer] = true
+		if !keep {
+			delete(holders, carrier)
+		}
+		sent++
+	}
+	return sent
+}
+
+// GenerateWorkload builds count random unicast messages over the trace's
+// population and duration, each with the given TTL.
+func GenerateWorkload(tr *trace.Trace, count int, ttl simtime.Duration, seed uint64) []Message {
+	r := rng.New(seed)
+	span := int(tr.End())
+	if span <= 0 {
+		span = 1
+	}
+	msgs := make([]Message, 0, count)
+	for i := 0; i < count; i++ {
+		src := trace.NodeID(r.Intn(tr.NodeCount))
+		dst := trace.NodeID(r.Intn(tr.NodeCount))
+		for dst == src {
+			dst = trace.NodeID(r.Intn(tr.NodeCount))
+		}
+		created := simtime.Time(r.Intn(span))
+		msgs = append(msgs, Message{
+			ID:      i,
+			Src:     src,
+			Dst:     dst,
+			Created: created,
+			Expires: created.Add(ttl),
+		})
+	}
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].Created < msgs[j].Created })
+	for i := range msgs {
+		msgs[i].ID = i
+	}
+	return msgs
+}

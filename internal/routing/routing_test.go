@@ -1,0 +1,309 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// lineTrace builds sessions 0-1, 1-2, ..., so messages must be relayed.
+func lineTrace(hops int) *trace.Trace {
+	tr := &trace.Trace{Name: "line", NodeCount: hops + 1}
+	for i := 0; i < hops; i++ {
+		start := simtime.Time(i+1) * simtime.Time(simtime.Hour)
+		tr.Sessions = append(tr.Sessions, trace.Session{
+			Start: start,
+			End:   start.Add(simtime.Minute),
+			Nodes: []trace.NodeID{trace.NodeID(i), trace.NodeID(i + 1)},
+		})
+	}
+	return tr
+}
+
+func oneMessage(src, dst trace.NodeID, ttl simtime.Duration) []Message {
+	return []Message{{ID: 0, Src: src, Dst: dst, Created: 0, Expires: simtime.Time(ttl)}}
+}
+
+func TestEpidemicRelaysAlongLine(t *testing.T) {
+	res, err := Simulate(Config{
+		Trace:    lineTrace(4),
+		Messages: oneMessage(0, 4, simtime.Days(1)),
+		Protocol: Epidemic{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("epidemic failed on a line: %+v", res)
+	}
+	if res.Transmissions != 4 {
+		t.Fatalf("transmissions = %d, want 4 hops", res.Transmissions)
+	}
+	if res.MeanDelay != 4*simtime.Hour {
+		t.Fatalf("delay = %v, want 4h", res.MeanDelay)
+	}
+}
+
+func TestDirectCannotRelay(t *testing.T) {
+	res, err := Simulate(Config{
+		Trace:    lineTrace(4),
+		Messages: oneMessage(0, 4, simtime.Days(1)),
+		Protocol: Direct{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("direct delivered without meeting the destination: %+v", res)
+	}
+}
+
+func TestDirectDeliversOnMeeting(t *testing.T) {
+	tr := &trace.Trace{Name: "pair", NodeCount: 2, Sessions: []trace.Session{
+		{Start: 10, End: 20, Nodes: []trace.NodeID{0, 1}},
+	}}
+	res, err := Simulate(Config{
+		Trace:    tr,
+		Messages: oneMessage(0, 1, simtime.Days(1)),
+		Protocol: Direct{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.Transmissions != 1 {
+		t.Fatalf("direct meeting result: %+v", res)
+	}
+}
+
+func TestTTLExpiryBlocksDelivery(t *testing.T) {
+	res, err := Simulate(Config{
+		Trace:    lineTrace(4),
+		Messages: oneMessage(0, 4, 90*simtime.Minute), // expires before hop 2
+		Protocol: Epidemic{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("expired message delivered: %+v", res)
+	}
+}
+
+func TestMessageNotRoutedBeforeCreation(t *testing.T) {
+	msgs := []Message{{
+		ID: 0, Src: 0, Dst: 4,
+		Created: simtime.Time(2*simtime.Hour + simtime.Minute),
+		Expires: simtime.Time(simtime.Days(1)),
+	}}
+	res, err := Simulate(Config{Trace: lineTrace(4), Messages: msgs, Protocol: Epidemic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contacts 0-1 (t=1h) and 1-2 (t=2h) precede creation at the source,
+	// so the message can never progress past them.
+	if res.Delivered != 0 {
+		t.Fatalf("message travelled before creation: %+v", res)
+	}
+}
+
+func TestSprayAndWaitTokenLimit(t *testing.T) {
+	// A star around node 0: it meets nodes 1..6, none of which is the
+	// destination (7, never met). With L=4, binary spray gives tokens to
+	// at most 3 relays (4 -> 2+2 -> ... bounded copies).
+	tr := &trace.Trace{Name: "star", NodeCount: 8}
+	for i := 1; i <= 6; i++ {
+		start := simtime.Time(i) * simtime.Time(simtime.Hour)
+		tr.Sessions = append(tr.Sessions, trace.Session{
+			Start: start,
+			End:   start.Add(simtime.Minute),
+			Nodes: []trace.NodeID{0, trace.NodeID(i)},
+		})
+	}
+	s := &SprayAndWait{L: 4}
+	res, err := Simulate(Config{
+		Trace:    tr,
+		Messages: oneMessage(0, 7, simtime.Days(1)),
+		Protocol: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tokens at src: gives 2, then 1; then waits. 2 transmissions.
+	if res.Transmissions != 2 {
+		t.Fatalf("transmissions = %d, want 2 under L=4 binary spray", res.Transmissions)
+	}
+}
+
+func TestSprayAndWaitDefaultsLToOne(t *testing.T) {
+	s := &SprayAndWait{}
+	s.Init(2, oneMessage(0, 1, simtime.Day))
+	if s.L != 1 {
+		t.Fatalf("L = %d, want clamped to 1", s.L)
+	}
+}
+
+func TestProphetLearnsAndForwards(t *testing.T) {
+	p := &Prophet{}
+	p.Init(3, nil)
+	// b meets the destination c often; a never does.
+	for i := 0; i < 5; i++ {
+		p.Encounter(simtime.Time(i)*simtime.Time(simtime.Minute), 1, 2)
+	}
+	if p.Predictability(1, 2) <= p.Predictability(0, 2) {
+		t.Fatal("encounters did not raise predictability")
+	}
+	give, keep := p.Relay(0, 0, 1, &Message{ID: 0, Src: 0, Dst: 2})
+	if !give || !keep {
+		t.Fatalf("Relay to better custodian = (%v,%v), want (true,true)", give, keep)
+	}
+	give, _ = p.Relay(0, 1, 0, &Message{ID: 0, Src: 1, Dst: 2})
+	if give {
+		t.Fatal("Relay to worse custodian accepted")
+	}
+}
+
+func TestProphetTransitivity(t *testing.T) {
+	p := &Prophet{}
+	p.Init(3, nil)
+	p.Encounter(0, 1, 2) // b knows c
+	p.Encounter(simtime.Time(simtime.Minute), 0, 1)
+	if p.Predictability(0, 2) == 0 {
+		t.Fatal("transitivity did not propagate predictability")
+	}
+}
+
+func TestProphetAging(t *testing.T) {
+	p := &Prophet{}
+	p.Init(2, nil)
+	p.Encounter(0, 0, 1)
+	before := p.Predictability(0, 1)
+	// A later encounter with aging in between: age first.
+	p.age(simtime.Time(simtime.Days(10)), 0)
+	after := p.Predictability(0, 1)
+	if after >= before {
+		t.Fatalf("predictability did not age: %v -> %v", before, after)
+	}
+}
+
+func TestPerContactBudget(t *testing.T) {
+	tr := &trace.Trace{Name: "pair", NodeCount: 3, Sessions: []trace.Session{
+		{Start: 10, End: 20, Nodes: []trace.NodeID{0, 1}},
+	}}
+	var msgs []Message
+	for i := 0; i < 5; i++ {
+		msgs = append(msgs, Message{ID: i, Src: 0, Dst: 2, Created: 0,
+			Expires: simtime.Time(simtime.Day)})
+	}
+	res, err := Simulate(Config{
+		Trace: tr, Messages: msgs, Protocol: Epidemic{}, PerContactBudget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != 2 {
+		t.Fatalf("transmissions = %d, want budget 2", res.Transmissions)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := lineTrace(2)
+	ok := oneMessage(0, 2, simtime.Day)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil trace", Config{Messages: ok, Protocol: Epidemic{}}},
+		{"nil protocol", Config{Trace: tr, Messages: ok}},
+		{"bad id", Config{Trace: tr, Protocol: Epidemic{}, Messages: []Message{{ID: 5, Src: 0, Dst: 1, Expires: 1}}}},
+		{"self message", Config{Trace: tr, Protocol: Epidemic{}, Messages: []Message{{ID: 0, Src: 1, Dst: 1, Expires: 1}}}},
+		{"node range", Config{Trace: tr, Protocol: Epidemic{}, Messages: []Message{{ID: 0, Src: 0, Dst: 99, Expires: 1}}}},
+		{"lifetime", Config{Trace: tr, Protocol: Epidemic{}, Messages: []Message{{ID: 0, Src: 0, Dst: 1, Created: 5, Expires: 5}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Simulate(tt.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	tr, err := tracegen.Uniform(tracegen.DefaultUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := GenerateWorkload(tr, 100, simtime.Day, 1)
+	if len(msgs) != 100 {
+		t.Fatalf("workload size = %d", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.ID != i {
+			t.Fatalf("message %d has ID %d", i, m.ID)
+		}
+		if m.Src == m.Dst {
+			t.Fatalf("message %d is a self-message", i)
+		}
+		if i > 0 && msgs[i-1].Created > m.Created {
+			t.Fatal("workload not sorted by creation")
+		}
+	}
+	// Deterministic per seed.
+	again := GenerateWorkload(tr, 100, simtime.Day, 1)
+	for i := range msgs {
+		if msgs[i] != again[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestProtocolOrderingOnRealTrace(t *testing.T) {
+	// Classic DTN result: epidemic >= spray-and-wait and prophet >=
+	// direct on delivery ratio; epidemic has the highest overhead.
+	cfg := tracegen.DefaultUniform()
+	cfg.Nodes, cfg.Sessions, cfg.Days = 25, 800, 7
+	tr, err := tracegen.Uniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := GenerateWorkload(tr, 150, simtime.Days(3), 2)
+
+	results := make(map[string]*Result)
+	for _, p := range All() {
+		res, err := Simulate(Config{Trace: tr, Messages: msgs, Protocol: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[res.Protocol] = res
+	}
+	epidemic, direct := results["epidemic"], results["direct"]
+	spray, prophet := results["spray-and-wait"], results["prophet"]
+
+	if epidemic.Ratio < spray.Ratio || epidemic.Ratio < prophet.Ratio || epidemic.Ratio < direct.Ratio {
+		t.Fatalf("epidemic is not the ratio upper bound: %+v", results)
+	}
+	if direct.Ratio > spray.Ratio || direct.Ratio > prophet.Ratio {
+		t.Fatalf("direct beats replicating protocols: %+v", results)
+	}
+	if epidemic.Overhead < spray.Overhead {
+		t.Fatalf("epidemic overhead %v below spray %v", epidemic.Overhead, spray.Overhead)
+	}
+	if direct.Delivered > 0 && direct.Overhead != 1 {
+		t.Fatalf("direct overhead = %v, want exactly 1", direct.Overhead)
+	}
+}
+
+func TestAllProtocolsNamed(t *testing.T) {
+	names := make(map[string]bool)
+	for _, p := range All() {
+		if p.Name() == "" || names[p.Name()] {
+			t.Fatalf("bad or duplicate protocol name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("protocols = %v", names)
+	}
+}

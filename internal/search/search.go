@@ -1,0 +1,126 @@
+// Package search implements the keyword search used for file discovery:
+// a tokenizer and an inverted index that ranks documents by how well they
+// match a query. The metadata server uses it to answer pulled queries
+// with the "best matched metadata"; nodes use it to present a
+// preferentially ordered result list to their user.
+package search
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Index is an inverted index from token to document. The zero value is
+// not usable; construct with NewIndex. Index is not safe for concurrent
+// mutation.
+type Index struct {
+	postings map[string]map[int]int // token -> docID -> term frequency
+	docLen   map[int]int            // docID -> token count
+	docs     map[int]bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string]map[int]int),
+		docLen:   make(map[int]int),
+		docs:     make(map[int]bool),
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Add indexes text under docID, replacing any previous text for the id.
+func (ix *Index) Add(docID int, text string) {
+	if ix.docs[docID] {
+		ix.Remove(docID)
+	}
+	tokens := Tokenize(text)
+	ix.docs[docID] = true
+	ix.docLen[docID] = len(tokens)
+	for _, tok := range tokens {
+		m := ix.postings[tok]
+		if m == nil {
+			m = make(map[int]int)
+			ix.postings[tok] = m
+		}
+		m[docID]++
+	}
+}
+
+// Remove deletes docID from the index. Removing an unknown id is a no-op.
+func (ix *Index) Remove(docID int) {
+	if !ix.docs[docID] {
+		return
+	}
+	delete(ix.docs, docID)
+	delete(ix.docLen, docID)
+	for tok, m := range ix.postings {
+		if _, ok := m[docID]; ok {
+			delete(m, docID)
+			if len(m) == 0 {
+				delete(ix.postings, tok)
+			}
+		}
+	}
+}
+
+// Result is one ranked hit.
+type Result struct {
+	DocID int
+	// Score counts matched query tokens (term frequency weighted); higher
+	// is better.
+	Score float64
+}
+
+// Search returns documents matching at least one query token, best first.
+// Documents matching more distinct query tokens always outrank documents
+// matching fewer; term frequency breaks ties, then docID for stability.
+func (ix *Index) Search(query string, limit int) []Result {
+	tokens := Tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	distinct := make(map[int]int)  // docID -> distinct tokens matched
+	frequency := make(map[int]int) // docID -> total term frequency
+	seen := make(map[string]bool)
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		for doc, tf := range ix.postings[tok] {
+			distinct[doc]++
+			frequency[doc] += tf
+		}
+	}
+	if len(distinct) == 0 {
+		return nil
+	}
+	results := make([]Result, 0, len(distinct))
+	for doc, d := range distinct {
+		results = append(results, Result{
+			DocID: doc,
+			Score: float64(d)*1000 + float64(frequency[doc]),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].DocID < results[j].DocID
+	})
+	if limit >= 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}

@@ -1,0 +1,186 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello World", []string{"hello", "world"}},
+		{"S01E01: The Pilot!", []string{"s01e01", "the", "pilot"}},
+		{"", nil},
+		{"   ", nil},
+		{"a-b_c", []string{"a", "b", "c"}},
+		{"MiXeD CaSe", []string{"mixed", "case"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func buildIndex() *Index {
+	ix := NewIndex()
+	ix.Add(1, "nature documentary savanna wildlife")
+	ix.Add(2, "nature of code programming")
+	ix.Add(3, "city documentary architecture")
+	ix.Add(4, "music concert live")
+	return ix
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("nature documentary", -1)
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	// Doc 1 matches both tokens; 2 and 3 match one each.
+	if res[0].DocID != 1 {
+		t.Fatalf("top result = %d, want 1", res[0].DocID)
+	}
+	if res[1].DocID != 2 || res[2].DocID != 3 {
+		t.Fatalf("tie order by docID broken: %v", res)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := buildIndex()
+	if res := ix.Search("basketball", -1); res != nil {
+		t.Fatalf("unexpected results %v", res)
+	}
+	if res := ix.Search("", -1); res != nil {
+		t.Fatalf("empty query returned %v", res)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("nature documentary", 1)
+	if len(res) != 1 || res[0].DocID != 1 {
+		t.Fatalf("limit 1 = %v", res)
+	}
+	if res := ix.Search("nature documentary", 0); len(res) != 0 {
+		t.Fatalf("limit 0 = %v", res)
+	}
+}
+
+func TestTermFrequencyBreaksTies(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "jazz")
+	ix.Add(2, "jazz jazz jazz")
+	res := ix.Search("jazz", -1)
+	if len(res) != 2 || res[0].DocID != 2 {
+		t.Fatalf("tf tie-break failed: %v", res)
+	}
+}
+
+func TestDuplicateQueryTokensNotDoubleCounted(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "jazz")
+	ix.Add(2, "blues blues")
+	res := ix.Search("jazz jazz jazz", -1)
+	if len(res) != 1 || res[0].DocID != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	// One distinct token matched -> same score band as a single mention.
+	if res[0].Score >= 2000 {
+		t.Fatalf("duplicate query token inflated distinct count: score %v", res[0].Score)
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "old text")
+	ix.Add(1, "new words")
+	if res := ix.Search("old", -1); len(res) != 0 {
+		t.Fatalf("stale tokens remain: %v", res)
+	}
+	if res := ix.Search("new", -1); len(res) != 1 {
+		t.Fatalf("replacement not indexed: %v", res)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := buildIndex()
+	ix.Remove(1)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d after removal", ix.Len())
+	}
+	for _, r := range ix.Search("nature documentary", -1) {
+		if r.DocID == 1 {
+			t.Fatal("removed doc still surfaces")
+		}
+	}
+	ix.Remove(99) // no-op must not panic
+}
+
+func TestRemoveCleansPostings(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "unique")
+	ix.Remove(1)
+	if len(ix.postings) != 0 {
+		t.Fatalf("postings leak: %v", ix.postings)
+	}
+}
+
+func TestSearchPropertyEveryHitSharesAToken(t *testing.T) {
+	f := func(docs []string, query string) bool {
+		ix := NewIndex()
+		for i, d := range docs {
+			ix.Add(i, d)
+		}
+		qTokens := Tokenize(query)
+		tokenSet := make(map[string]bool, len(qTokens))
+		for _, tok := range qTokens {
+			tokenSet[tok] = true
+		}
+		for _, r := range ix.Search(query, -1) {
+			hit := false
+			for _, tok := range Tokenize(docs[r.DocID]) {
+				if tokenSet[tok] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchResultsSortedByScore(t *testing.T) {
+	f := func(docs []string, query string) bool {
+		ix := NewIndex()
+		for i, d := range docs {
+			ix.Add(i, d)
+		}
+		res := ix.Search(query, -1)
+		for i := 1; i < len(res); i++ {
+			if res[i].Score > res[i-1].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

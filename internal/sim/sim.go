@@ -1,0 +1,86 @@
+// Package sim provides the discrete-event simulation engine: a clock and
+// an ordered event loop built on the eventq heap. Protocol logic schedules
+// work at simulated instants; the engine fires events in (time, insertion)
+// order, so runs are fully deterministic.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/simtime"
+)
+
+// ErrPastEvent reports an attempt to schedule before the current time.
+var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+
+// Engine is a single-threaded discrete-event loop. The zero value is
+// ready to use, starting at time zero.
+type Engine struct {
+	queue eventq.Queue
+	now   simtime.Time
+	fired int
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() int { return e.fired }
+
+// Pending returns the number of scheduled, unfired events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at t. Scheduling at the current instant is
+// allowed (the event fires after already-queued events at that instant).
+func (e *Engine) At(t simtime.Time, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("at %v (now %v): %w", t, e.now, ErrPastEvent)
+	}
+	e.queue.Push(t, fn)
+	return nil
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d simtime.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("after %v: %w", d, ErrPastEvent)
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step fires the next event, reporting whether one existed.
+func (e *Engine) Step() bool {
+	ev := e.queue.Pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.Time
+	e.fired++
+	if ev.Fire != nil {
+		ev.Fire()
+	}
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with Time <= deadline, then advances the clock to
+// the deadline.
+func (e *Engine) RunUntil(deadline simtime.Time) {
+	for {
+		next := e.queue.Peek()
+		if next == nil || next.Time > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

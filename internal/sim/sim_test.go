@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestRunFiresInOrder(t *testing.T) {
+	var e Engine
+	var fired []int
+	mustAt := func(tm simtime.Time, id int) {
+		if err := e.At(tm, func() { fired = append(fired, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(30, 3)
+	mustAt(10, 1)
+	mustAt(20, 2)
+	e.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 30 || e.Fired() != 3 || e.Pending() != 0 {
+		t.Fatalf("engine state: now=%v fired=%d pending=%d", e.Now(), e.Fired(), e.Pending())
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	var e Engine
+	if err := e.At(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.At(5, nil); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("At(past) = %v", err)
+	}
+	if err := e.After(-1, nil); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("After(-1) = %v", err)
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			if err := e.After(10, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.At(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chain fired %d times", count)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("now = %v, want 40", e.Now())
+	}
+}
+
+func TestSameInstantScheduling(t *testing.T) {
+	var e Engine
+	var fired []int
+	if err := e.At(10, func() {
+		fired = append(fired, 1)
+		// Scheduling at the current instant is allowed and fires later.
+		if err := e.At(e.Now(), func() { fired = append(fired, 2) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []simtime.Time
+	for _, tm := range []simtime.Time{10, 20, 30} {
+		tm := tm
+		if err := e.At(tm, func() { fired = append(fired, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 20 || e.Pending() != 1 {
+		t.Fatalf("now=%v pending=%d", e.Now(), e.Pending())
+	}
+	e.RunUntil(100)
+	if len(fired) != 3 || e.Now() != 100 {
+		t.Fatalf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}

@@ -1,0 +1,96 @@
+// Package simtime defines the simulation clock's time and duration types.
+//
+// Simulated time is a number of seconds since the start of the simulation,
+// held as an int64 of milliseconds so that arithmetic is exact and ordering
+// is total. Day arithmetic matters to the workload: the paper generates n
+// new files every day at 14:00, so the package knows about day boundaries
+// and offsets within a day.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in simulated time, measured in milliseconds since the
+// simulation epoch (midnight before the first day).
+type Time int64
+
+// Duration is a span of simulated time in milliseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Millisecond Duration = 1
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+	Day                  = 24 * Hour
+)
+
+// FileGenerationOffset is the time of day at which the workload publishes
+// the day's new files: 14:00, per the paper ("everyday at 2PM").
+const FileGenerationOffset = 14 * Hour
+
+// Seconds constructs a Duration from a (possibly fractional) second count.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Days constructs a Duration from a day count.
+func Days(d int) Duration { return Duration(d) * Day }
+
+// At constructs a Time from a day index and an offset within the day.
+func At(day int, offset Duration) Time { return Time(Duration(day)*Day + offset) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Day returns the zero-based day index containing t. Negative instants
+// (before the epoch) round toward negative infinity.
+func (t Time) Day() int {
+	d := int64(t) / int64(Day)
+	if int64(t)%int64(Day) < 0 {
+		d--
+	}
+	return int(d)
+}
+
+// DayOffset returns the duration elapsed since the start of t's day.
+func (t Time) DayOffset() Duration {
+	off := Duration(int64(t) % int64(Day))
+	if off < 0 {
+		off += Day
+	}
+	return off
+}
+
+// Seconds returns t as a floating-point second count since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String renders t as "d<day> hh:mm:ss.mmm".
+func (t Time) String() string {
+	off := t.DayOffset()
+	h := off / Hour
+	m := (off % Hour) / Minute
+	s := (off % Minute) / Second
+	ms := off % Second
+	return fmt.Sprintf("d%d %02d:%02d:%02d.%03d", t.Day(), h, m, s, ms)
+}
+
+// Seconds returns d as a floating-point second count.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a time.Duration for interoperability with the standard
+// library (e.g. formatting); simulated milliseconds map to real ones.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Millisecond }
+
+// String renders d using the standard library's duration formatting.
+func (d Duration) String() string { return d.Std().String() }

@@ -1,0 +1,94 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtComposesDayAndOffset(t *testing.T) {
+	tests := []struct {
+		day    int
+		offset Duration
+		want   Time
+	}{
+		{0, 0, 0},
+		{0, Hour, Time(Hour)},
+		{1, 0, Time(Day)},
+		{2, FileGenerationOffset, Time(2*Day + 14*Hour)},
+	}
+	for _, tt := range tests {
+		if got := At(tt.day, tt.offset); got != tt.want {
+			t.Errorf("At(%d, %v) = %v, want %v", tt.day, tt.offset, got, tt.want)
+		}
+	}
+}
+
+func TestDayAndOffsetRoundTrip(t *testing.T) {
+	f := func(day uint16, offMillis uint32) bool {
+		d := int(day)
+		off := Duration(offMillis) % Day
+		tm := At(d, off)
+		return tm.Day() == d && tm.DayOffset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDayOfNegativeTime(t *testing.T) {
+	tm := Time(-1)
+	if got := tm.Day(); got != -1 {
+		t.Fatalf("Time(-1).Day() = %d, want -1", got)
+	}
+	if got := tm.DayOffset(); got != Day-Millisecond {
+		t.Fatalf("Time(-1).DayOffset() = %v, want %v", got, Day-Millisecond)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	start := At(1, Hour)
+	end := start.Add(90 * Minute)
+	if got := end.Sub(start); got != 90*Minute {
+		t.Fatalf("Sub = %v, want 90m", got)
+	}
+	if !start.Before(end) || !end.After(start) {
+		t.Fatal("ordering predicates inconsistent")
+	}
+}
+
+func TestSecondsConversions(t *testing.T) {
+	if got := Seconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", got)
+	}
+	if got := Time(2500).Seconds(); got != 2.5 {
+		t.Fatalf("Time(2500).Seconds() = %v", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3 {
+		t.Fatalf("(3s).Seconds() = %v", got)
+	}
+}
+
+func TestDays(t *testing.T) {
+	if got := Days(3); got != 3*Day {
+		t.Fatalf("Days(3) = %v", got)
+	}
+}
+
+func TestFileGenerationOffsetIs2PM(t *testing.T) {
+	if FileGenerationOffset != 14*Hour {
+		t.Fatalf("file generation offset = %v, want 14h", FileGenerationOffset)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tm := At(2, 5*Hour+6*Minute+7*Second+8*Millisecond)
+	if got, want := tm.String(), "d2 05:06:07.008"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got, want := (90 * Second).String(), "1m30s"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("singleton must have zero CI")
+	}
+}
+
+func TestKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev with n-1: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	wantCI := 1.96 * want / math.Sqrt(8)
+	if math.Abs(s.CI95()-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95(), wantCI)
+	}
+}
+
+func TestConstantSample(t *testing.T) {
+	s := Summarize([]float64{1.5, 1.5, 1.5})
+	if s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("constant sample: %+v", s)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological floats
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package stgraph implements the space-time graph view of a DTN (§II-A):
+// each contact is an edge that exists only during its session, and a
+// message can traverse any chronological sequence of such edges. The
+// package computes earliest-arrival (foremost) journeys, which serve as
+// an oracle: no store-carry-forward protocol can deliver anything from a
+// source set earlier than the space-time graph allows, so the oracle
+// upper-bounds every delivery ratio the simulator can produce.
+package stgraph
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Unreachable marks nodes no journey can reach.
+const Unreachable = simtime.Time(-1)
+
+// EarliestArrival returns, per node, the earliest time information
+// originating at the given sources can reach it. sources maps each seed
+// node to the instant its copy becomes available (e.g. a file's
+// publication time). A transfer happens at a session's start if any
+// member already carries the information strictly before or at that
+// instant. Unreached nodes get Unreachable.
+func EarliestArrival(tr *trace.Trace, sources map[trace.NodeID]simtime.Time) []simtime.Time {
+	arrival := make([]simtime.Time, tr.NodeCount)
+	for i := range arrival {
+		arrival[i] = Unreachable
+	}
+	for id, t := range sources {
+		if id < 0 || int(id) >= tr.NodeCount {
+			continue
+		}
+		if arrival[id] == Unreachable || t < arrival[id] {
+			arrival[id] = t
+		}
+	}
+	// Sessions are chronological, so one pass suffices: information can
+	// only move forward in time.
+	for _, sess := range tr.Sessions {
+		earliest := Unreachable
+		for _, id := range sess.Nodes {
+			if at := arrival[id]; at != Unreachable && at <= sess.Start {
+				if earliest == Unreachable || at < earliest {
+					earliest = sess.Start
+				}
+			}
+		}
+		if earliest == Unreachable {
+			continue
+		}
+		for _, id := range sess.Nodes {
+			if arrival[id] == Unreachable || sess.Start < arrival[id] {
+				arrival[id] = sess.Start
+			}
+		}
+	}
+	return arrival
+}
+
+// ReachableBy returns the nodes whose earliest arrival from sources is
+// strictly before the deadline.
+func ReachableBy(tr *trace.Trace, sources map[trace.NodeID]simtime.Time, deadline simtime.Time) []trace.NodeID {
+	arrival := EarliestArrival(tr, sources)
+	var out []trace.NodeID
+	for id, at := range arrival {
+		if at != Unreachable && at < deadline {
+			out = append(out, trace.NodeID(id))
+		}
+	}
+	return out
+}
+
+// TemporalConnectivity returns the fraction of ordered (source, node)
+// pairs for which a journey starting at time 0 exists within the horizon.
+// It measures how well-mixed a trace is.
+func TemporalConnectivity(tr *trace.Trace, horizon simtime.Duration) float64 {
+	if tr.NodeCount < 2 {
+		return 0
+	}
+	reached := 0
+	total := 0
+	for src := 0; src < tr.NodeCount; src++ {
+		arrival := EarliestArrival(tr, map[trace.NodeID]simtime.Time{trace.NodeID(src): 0})
+		for id, at := range arrival {
+			if id == src {
+				continue
+			}
+			total++
+			if at != Unreachable && at <= simtime.Time(horizon) {
+				reached++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(reached) / float64(total)
+}

@@ -1,0 +1,128 @@
+package stgraph
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// lineTrace: contacts 0-1 at 1h, 1-2 at 2h, 2-3 at 3h.
+func lineTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "line", NodeCount: 4}
+	for i := 0; i < 3; i++ {
+		start := simtime.Time(i+1) * simtime.Time(simtime.Hour)
+		tr.Sessions = append(tr.Sessions, trace.Session{
+			Start: start,
+			End:   start.Add(simtime.Minute),
+			Nodes: []trace.NodeID{trace.NodeID(i), trace.NodeID(i + 1)},
+		})
+	}
+	return tr
+}
+
+func TestEarliestArrivalAlongLine(t *testing.T) {
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{0: 0})
+	want := []simtime.Time{
+		0,
+		simtime.Time(simtime.Hour),
+		simtime.Time(2 * simtime.Hour),
+		simtime.Time(3 * simtime.Hour),
+	}
+	for i, w := range want {
+		if arrival[i] != w {
+			t.Fatalf("arrival[%d] = %v, want %v", i, arrival[i], w)
+		}
+	}
+}
+
+func TestChronologyMatters(t *testing.T) {
+	// Source at node 3: the line's edges run the wrong way in time, so
+	// nothing beyond node 2... in fact node 3 meets only node 2 at 3h,
+	// and node 2 never meets anyone later — no further spread.
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{3: 0})
+	if arrival[2] != simtime.Time(3*simtime.Hour) {
+		t.Fatalf("arrival[2] = %v", arrival[2])
+	}
+	if arrival[1] != Unreachable || arrival[0] != Unreachable {
+		t.Fatalf("nodes 0/1 reached against chronology: %v", arrival)
+	}
+}
+
+func TestSourceAfterContactMissesIt(t *testing.T) {
+	// Information appearing at node 0 after its only contact cannot use
+	// that contact.
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{
+		0: simtime.Time(90 * simtime.Minute),
+	})
+	if arrival[1] != Unreachable {
+		t.Fatalf("arrival[1] = %v, want unreachable", arrival[1])
+	}
+}
+
+func TestSourceExactlyAtContactUsesIt(t *testing.T) {
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{
+		0: simtime.Time(simtime.Hour),
+	})
+	if arrival[1] != simtime.Time(simtime.Hour) {
+		t.Fatalf("arrival[1] = %v, want 1h", arrival[1])
+	}
+}
+
+func TestMultipleSourcesTakeEarliest(t *testing.T) {
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{
+		0: 0,
+		3: 0,
+	})
+	// Node 2 hears from node 3 at 3h but from node 0's chain at 2h.
+	if arrival[2] != simtime.Time(2*simtime.Hour) {
+		t.Fatalf("arrival[2] = %v, want 2h", arrival[2])
+	}
+}
+
+func TestCliqueSessionSpreadsToAll(t *testing.T) {
+	tr := &trace.Trace{Name: "class", NodeCount: 5, Sessions: []trace.Session{
+		{Start: 100, End: 200, Nodes: []trace.NodeID{0, 1, 2, 3, 4}},
+	}}
+	arrival := EarliestArrival(tr, map[trace.NodeID]simtime.Time{2: 50})
+	for id := 0; id < 5; id++ {
+		want := simtime.Time(100)
+		if id == 2 {
+			want = 50
+		}
+		if arrival[id] != want {
+			t.Fatalf("arrival[%d] = %v, want %v", id, arrival[id], want)
+		}
+	}
+}
+
+func TestOutOfRangeSourceIgnored(t *testing.T) {
+	arrival := EarliestArrival(lineTrace(), map[trace.NodeID]simtime.Time{99: 0, -1: 0})
+	for _, at := range arrival {
+		if at != Unreachable {
+			t.Fatalf("phantom source reached nodes: %v", arrival)
+		}
+	}
+}
+
+func TestReachableBy(t *testing.T) {
+	got := ReachableBy(lineTrace(), map[trace.NodeID]simtime.Time{0: 0},
+		simtime.Time(2*simtime.Hour+1))
+	// Nodes 0 (source, t=0), 1 (1h), 2 (2h) are strictly before 2h+1ms.
+	if len(got) != 3 {
+		t.Fatalf("ReachableBy = %v", got)
+	}
+}
+
+func TestTemporalConnectivity(t *testing.T) {
+	// Contacts are bidirectional, so on the line within 3h:
+	// 0 reaches {1,2,3}; 1 reaches {0,2,3}; 2 reaches {1,3} (0's only
+	// contact already passed); 3 reaches {2} = 9 of 12 ordered pairs.
+	got := TemporalConnectivity(lineTrace(), 3*simtime.Hour)
+	if got != 0.75 {
+		t.Fatalf("TemporalConnectivity = %v, want 0.75", got)
+	}
+	if TemporalConnectivity(&trace.Trace{NodeCount: 1}, simtime.Hour) != 0 {
+		t.Fatal("single node connectivity must be 0")
+	}
+}

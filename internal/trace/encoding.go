@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// The text format is line-oriented and human-inspectable:
+//
+//	dtntrace v1 <name> <node-count>
+//	s <start-ms> <end-ms> <node> <node> [...]
+//	...
+//
+// Lines starting with '#' and blank lines are ignored. Session lines must
+// be in chronological order; Decode validates the result.
+
+const formatHeader = "dtntrace v1"
+
+// ErrBadFormat reports malformed trace input.
+var ErrBadFormat = errors.New("trace: malformed input")
+
+// Encode writes t in the text format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	name := t.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	if strings.ContainsAny(name, " \t\n") {
+		return fmt.Errorf("trace: name %q contains whitespace: %w", name, ErrBadFormat)
+	}
+	if _, err := fmt.Fprintf(bw, "%s %s %d\n", formatHeader, name, t.NodeCount); err != nil {
+		return err
+	}
+	for _, s := range t.Sessions {
+		if _, err := fmt.Fprintf(bw, "s %d %d", int64(s.Start), int64(s.End)); err != nil {
+			return err
+		}
+		for _, id := range s.Nodes {
+			if _, err := fmt.Fprintf(bw, " %d", id); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format and validates the trace.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var t *Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if t == nil {
+			rest, ok := strings.CutPrefix(line, formatHeader+" ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: missing %q header: %w", lineNo, formatHeader, ErrBadFormat)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: header wants name and node count: %w", lineNo, ErrBadFormat)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: node count: %w", lineNo, ErrBadFormat)
+			}
+			t = &Trace{Name: fields[0], NodeCount: n}
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "s" || len(fields) < 5 {
+			return nil, fmt.Errorf("line %d: want \"s start end node node...\": %w", lineNo, ErrBadFormat)
+		}
+		start, err1 := strconv.ParseInt(fields[1], 10, 64)
+		end, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("line %d: bad timestamps: %w", lineNo, ErrBadFormat)
+		}
+		nodes := make([]NodeID, 0, len(fields)-3)
+		for _, f := range fields[3:] {
+			id, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad node id %q: %w", lineNo, f, ErrBadFormat)
+			}
+			nodes = append(nodes, NodeID(id))
+		}
+		t.Sessions = append(t.Sessions, Session{
+			Start: simtime.Time(start),
+			End:   simtime.Time(end),
+			Nodes: nodes,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("empty input: %w", ErrBadFormat)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

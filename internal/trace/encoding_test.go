@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := validTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestEncodeUnnamedTrace(t *testing.T) {
+	tr := validTrace()
+	tr.Name = ""
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "unnamed" {
+		t.Fatalf("name = %q, want unnamed", got.Name)
+	}
+}
+
+func TestEncodeRejectsWhitespaceName(t *testing.T) {
+	tr := validTrace()
+	tr.Name = "two words"
+	if err := Encode(&bytes.Buffer{}, tr); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	input := `
+# a comment
+dtntrace v1 commented 2
+
+# another comment
+s 0 10 0 1
+`
+	tr, err := Decode(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount != 2 || len(tr.Sessions) != 1 {
+		t.Fatalf("decoded %+v", tr)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"no header", "s 0 10 0 1\n"},
+		{"bad version", "dtntrace v2 x 2\ns 0 10 0 1\n"},
+		{"bad node count", "dtntrace v1 x two\n"},
+		{"missing header fields", "dtntrace v1 x\n"},
+		{"bad session keyword", "dtntrace v1 x 2\nq 0 10 0 1\n"},
+		{"too few session fields", "dtntrace v1 x 2\ns 0 10 0\n"},
+		{"bad start", "dtntrace v1 x 2\ns zero 10 0 1\n"},
+		{"bad end", "dtntrace v1 x 2\ns 0 ten 0 1\n"},
+		{"bad node id", "dtntrace v1 x 2\ns 0 10 0 one\n"},
+		{"invalid trace semantics", "dtntrace v1 x 2\ns 0 10 0 5\n"},
+		{"unsorted sessions", "dtntrace v1 x 2\ns 10 20 0 1\ns 0 20 0 1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tt.input)); err == nil {
+				t.Fatal("Decode accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := randomTrace(r)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTrace builds a small valid trace for property tests.
+func randomTrace(r *rng.Rand) *Trace {
+	n := 2 + r.Intn(10)
+	tr := &Trace{Name: "prop", NodeCount: n}
+	start := simtime.Time(0)
+	for i := 0; i < r.Intn(20); i++ {
+		start = start.Add(simtime.Duration(r.Intn(10000)))
+		dur := simtime.Duration(1 + r.Intn(5000))
+		k := 2 + r.Intn(n-1)
+		perm := r.Perm(n)
+		nodes := make([]NodeID, 0, k)
+		for _, v := range perm[:k] {
+			nodes = append(nodes, NodeID(v))
+		}
+		tr.Sessions = append(tr.Sessions, NewSession(start, start.Add(dur), nodes))
+	}
+	return tr
+}

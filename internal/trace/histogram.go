@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Histogram is a fixed-bucket distribution over durations.
+type Histogram struct {
+	// Bounds are the upper edges of all but the last bucket; Counts has
+	// len(Bounds)+1 entries, the last catching everything above.
+	Bounds []simtime.Duration
+	Counts []int
+}
+
+// NewHistogram builds a histogram with the given upper bounds (sorted
+// ascending).
+func NewHistogram(bounds []simtime.Duration) *Histogram {
+	b := make([]simtime.Duration, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{Bounds: b, Counts: make([]int, len(b)+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d simtime.Duration) {
+	for i, bound := range h.Bounds {
+		if d <= bound {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// String renders the histogram one bucket per line with percentages.
+func (h *Histogram) String() string {
+	total := h.Total()
+	if total == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		var label string
+		switch {
+		case i == 0:
+			label = fmt.Sprintf("<= %v", h.Bounds[0])
+		case i < len(h.Bounds):
+			label = fmt.Sprintf("%v - %v", h.Bounds[i-1], h.Bounds[i])
+		default:
+			label = fmt.Sprintf("> %v", h.Bounds[len(h.Bounds)-1])
+		}
+		fmt.Fprintf(&b, "%-20s %6d (%5.1f%%)\n", label, c, 100*float64(c)/float64(total))
+	}
+	return b.String()
+}
+
+// DurationHistogram buckets the trace's session durations.
+func (s *Stats) DurationHistogram(bounds []simtime.Duration) *Histogram {
+	h := NewHistogram(bounds)
+	for _, sess := range s.trace.Sessions {
+		h.Add(sess.Duration())
+	}
+	return h
+}
+
+// InterContactHistogram buckets the start-to-start gaps between
+// consecutive meetings over every pair that met at least twice.
+func (s *Stats) InterContactHistogram(bounds []simtime.Duration) *Histogram {
+	h := NewHistogram(bounds)
+	// Collect meeting times per pair in one chronological pass.
+	meetings := make(map[Pair][]simtime.Time)
+	for _, sess := range s.trace.Sessions {
+		for i, a := range sess.Nodes {
+			for _, b := range sess.Nodes[i+1:] {
+				p := MakePair(a, b)
+				meetings[p] = append(meetings[p], sess.Start)
+			}
+		}
+	}
+	for _, times := range meetings {
+		for i := 1; i < len(times); i++ {
+			h.Add(times[i].Sub(times[i-1]))
+		}
+	}
+	return h
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]simtime.Duration{10, 100})
+	for _, d := range []simtime.Duration{5, 10, 11, 100, 101, 1000} {
+		h.Add(d)
+	}
+	want := []int{2, 2, 2} // <=10: {5,10}; 11..100: {11,100}; >100: {101,1000}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	h := NewHistogram([]simtime.Duration{100, 10})
+	if h.Bounds[0] != 10 || h.Bounds[1] != 100 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]simtime.Duration{simtime.Minute})
+	h.Add(30 * simtime.Second)
+	h.Add(2 * simtime.Minute)
+	s := h.String()
+	if !strings.Contains(s, "<= 1m0s") || !strings.Contains(s, "> 1m0s") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+	empty := NewHistogram([]simtime.Duration{1})
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatalf("empty rendering: %q", empty.String())
+	}
+}
+
+func TestDurationHistogram(t *testing.T) {
+	tr := &Trace{NodeCount: 3, Sessions: []Session{
+		{Start: 0, End: 30, Nodes: []NodeID{0, 1}},
+		{Start: 100, End: 400, Nodes: []NodeID{1, 2}},
+	}}
+	h := NewStats(tr).DurationHistogram([]simtime.Duration{50})
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestInterContactHistogram(t *testing.T) {
+	tr := statsTrace() // pair (0,1) meets daily for 3 days
+	h := NewStats(tr).InterContactHistogram([]simtime.Duration{simtime.Hour, 2 * simtime.Day})
+	// Two one-day gaps fall in the (1h, 2d] bucket.
+	if h.Counts[1] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %d; single-meeting pairs must add nothing", h.Total())
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Pair is an unordered node pair with A < B.
+type Pair struct {
+	A, B NodeID
+}
+
+// MakePair normalizes (a, b) into a Pair with A < B.
+func MakePair(a, b NodeID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Stats summarizes a trace's contact structure. Build with NewStats.
+type Stats struct {
+	trace      *Trace
+	pairCounts map[Pair]int
+	nodeCounts []int
+	days       int
+}
+
+// NewStats scans the trace once and returns its statistics.
+func NewStats(t *Trace) *Stats {
+	s := &Stats{
+		trace:      t,
+		pairCounts: make(map[Pair]int),
+		nodeCounts: make([]int, t.NodeCount),
+		days:       t.Days(),
+	}
+	for _, sess := range t.Sessions {
+		for i, a := range sess.Nodes {
+			s.nodeCounts[a]++
+			for _, b := range sess.Nodes[i+1:] {
+				s.pairCounts[MakePair(a, b)]++
+			}
+		}
+	}
+	return s
+}
+
+// Days returns the number of days the underlying trace spans.
+func (s *Stats) Days() int { return s.days }
+
+// PairContacts returns how many sessions a and b shared.
+func (s *Stats) PairContacts(a, b NodeID) int {
+	return s.pairCounts[MakePair(a, b)]
+}
+
+// NodeContacts returns how many sessions the node participated in.
+func (s *Stats) NodeContacts(id NodeID) int {
+	if int(id) >= len(s.nodeCounts) || id < 0 {
+		return 0
+	}
+	return s.nodeCounts[id]
+}
+
+// FrequentContacts returns, for each node, the set of peers it meets at
+// least minPerDay times per day on average. The paper designates frequent
+// contacts as nodes meeting "at least every three days" (DieselNet,
+// minPerDay = 1/3) or "at least once per day" (NUS, minPerDay = 1); nodes
+// store the query strings of their frequent contacts to shorten discovery.
+func (s *Stats) FrequentContacts(minPerDay float64) map[NodeID][]NodeID {
+	out := make(map[NodeID][]NodeID)
+	if s.days == 0 {
+		return out
+	}
+	threshold := minPerDay * float64(s.days)
+	for pair, count := range s.pairCounts {
+		if float64(count) >= threshold {
+			out[pair.A] = append(out[pair.A], pair.B)
+			out[pair.B] = append(out[pair.B], pair.A)
+		}
+	}
+	for id := range out {
+		peers := out[id]
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	}
+	return out
+}
+
+// InterContactTimes returns the gaps between consecutive meetings of the
+// pair (a, b), in chronological order. Gaps are measured start-to-start.
+func (s *Stats) InterContactTimes(a, b NodeID) []simtime.Duration {
+	var meetings []simtime.Time
+	for _, sess := range s.trace.Sessions {
+		if sess.Contains(a) && sess.Contains(b) {
+			meetings = append(meetings, sess.Start)
+		}
+	}
+	if len(meetings) < 2 {
+		return nil
+	}
+	gaps := make([]simtime.Duration, 0, len(meetings)-1)
+	for i := 1; i < len(meetings); i++ {
+		gaps = append(gaps, meetings[i].Sub(meetings[i-1]))
+	}
+	return gaps
+}
+
+// MeanSessionSize returns the average number of nodes per session, or 0
+// for an empty trace.
+func (s *Stats) MeanSessionSize() float64 {
+	if len(s.trace.Sessions) == 0 {
+		return 0
+	}
+	total := 0
+	for _, sess := range s.trace.Sessions {
+		total += len(sess.Nodes)
+	}
+	return float64(total) / float64(len(s.trace.Sessions))
+}
+
+// MeanSessionDuration returns the average session length, or 0 for an
+// empty trace.
+func (s *Stats) MeanSessionDuration() simtime.Duration {
+	if len(s.trace.Sessions) == 0 {
+		return 0
+	}
+	var total simtime.Duration
+	for _, sess := range s.trace.Sessions {
+		total += sess.Duration()
+	}
+	return total / simtime.Duration(len(s.trace.Sessions))
+}
+
+// IsolatedNodes returns the nodes that appear in no session at all; such
+// nodes can never receive anything through the DTN.
+func (s *Stats) IsolatedNodes() []NodeID {
+	var out []NodeID
+	for id, c := range s.nodeCounts {
+		if c == 0 {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// statsTrace spans 3 days; pair (0,1) meets daily, pair (2,3) meets once.
+func statsTrace() *Trace {
+	tr := &Trace{Name: "stats", NodeCount: 5}
+	for day := 0; day < 3; day++ {
+		tr.Sessions = append(tr.Sessions, Session{
+			Start: simtime.At(day, simtime.Hour),
+			End:   simtime.At(day, 2*simtime.Hour),
+			Nodes: []NodeID{0, 1},
+		})
+	}
+	tr.Sessions = append(tr.Sessions, Session{
+		Start: simtime.At(2, 3*simtime.Hour),
+		End:   simtime.At(2, 4*simtime.Hour),
+		Nodes: []NodeID{2, 3},
+	})
+	tr.SortSessions()
+	return tr
+}
+
+func TestPairCounts(t *testing.T) {
+	s := NewStats(statsTrace())
+	if got := s.PairContacts(0, 1); got != 3 {
+		t.Fatalf("PairContacts(0,1) = %d, want 3", got)
+	}
+	if got := s.PairContacts(1, 0); got != 3 {
+		t.Fatalf("PairContacts is not symmetric: %d", got)
+	}
+	if got := s.PairContacts(2, 3); got != 1 {
+		t.Fatalf("PairContacts(2,3) = %d, want 1", got)
+	}
+	if got := s.PairContacts(0, 3); got != 0 {
+		t.Fatalf("PairContacts(0,3) = %d, want 0", got)
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	s := NewStats(statsTrace())
+	if got := s.NodeContacts(0); got != 3 {
+		t.Fatalf("NodeContacts(0) = %d", got)
+	}
+	if got := s.NodeContacts(4); got != 0 {
+		t.Fatalf("NodeContacts(4) = %d", got)
+	}
+	if got := s.NodeContacts(-1); got != 0 {
+		t.Fatalf("NodeContacts(-1) = %d", got)
+	}
+	if got := s.NodeContacts(99); got != 0 {
+		t.Fatalf("NodeContacts(99) = %d", got)
+	}
+}
+
+func TestCliqueSessionCountsAllPairs(t *testing.T) {
+	tr := &Trace{NodeCount: 4, Sessions: []Session{
+		{Start: 0, End: 10, Nodes: []NodeID{0, 1, 2, 3}},
+	}}
+	s := NewStats(tr)
+	pairs := [][2]NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for _, p := range pairs {
+		if got := s.PairContacts(p[0], p[1]); got != 1 {
+			t.Fatalf("PairContacts%v = %d, want 1", p, got)
+		}
+	}
+}
+
+func TestFrequentContacts(t *testing.T) {
+	s := NewStats(statsTrace())
+	// Once a day: only (0,1) qualifies over the 3-day span.
+	freq := s.FrequentContacts(1)
+	if peers := freq[0]; len(peers) != 1 || peers[0] != 1 {
+		t.Fatalf("freq[0] = %v, want [1]", peers)
+	}
+	if peers := freq[1]; len(peers) != 1 || peers[0] != 0 {
+		t.Fatalf("freq[1] = %v, want [0]", peers)
+	}
+	if _, ok := freq[2]; ok {
+		t.Fatal("node 2 wrongly frequent at 1/day")
+	}
+	// Every three days: (2,3) also qualifies (1 contact over 3 days).
+	freq3 := s.FrequentContacts(1.0 / 3.0)
+	if peers := freq3[2]; len(peers) != 1 || peers[0] != 3 {
+		t.Fatalf("freq3[2] = %v, want [3]", peers)
+	}
+}
+
+func TestFrequentContactsEmptyTrace(t *testing.T) {
+	s := NewStats(&Trace{NodeCount: 3})
+	if got := s.FrequentContacts(1); len(got) != 0 {
+		t.Fatalf("empty trace produced frequent contacts: %v", got)
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	s := NewStats(statsTrace())
+	gaps := s.InterContactTimes(0, 1)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v, want 2 entries", gaps)
+	}
+	for _, g := range gaps {
+		if g != simtime.Day {
+			t.Fatalf("gap = %v, want 1 day", g)
+		}
+	}
+	if got := s.InterContactTimes(2, 3); got != nil {
+		t.Fatalf("single meeting must yield no gaps, got %v", got)
+	}
+	if got := s.InterContactTimes(0, 4); got != nil {
+		t.Fatalf("never-met pair must yield no gaps, got %v", got)
+	}
+}
+
+func TestMeanSessionStats(t *testing.T) {
+	tr := &Trace{NodeCount: 4, Sessions: []Session{
+		{Start: 0, End: 10, Nodes: []NodeID{0, 1}},
+		{Start: 10, End: 40, Nodes: []NodeID{0, 1, 2, 3}},
+	}}
+	s := NewStats(tr)
+	if got := s.MeanSessionSize(); got != 3 {
+		t.Fatalf("MeanSessionSize = %v, want 3", got)
+	}
+	if got := s.MeanSessionDuration(); got != 20 {
+		t.Fatalf("MeanSessionDuration = %v, want 20", got)
+	}
+	empty := NewStats(&Trace{NodeCount: 1})
+	if empty.MeanSessionSize() != 0 || empty.MeanSessionDuration() != 0 {
+		t.Fatal("empty trace means must be zero")
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	s := NewStats(statsTrace())
+	iso := s.IsolatedNodes()
+	if len(iso) != 1 || iso[0] != 4 {
+		t.Fatalf("IsolatedNodes = %v, want [4]", iso)
+	}
+}
+
+func TestStatsDays(t *testing.T) {
+	if got := NewStats(statsTrace()).Days(); got != 3 {
+		t.Fatalf("Days = %d, want 3", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package trace models DTN contact traces.
+//
+// A trace is a sequence of sessions. A session is a period during which a
+// set of nodes can all receive each other's transmissions: a pairwise bus
+// meeting in a DieselNet-style trace is a two-node session, and a class
+// meeting in an NUS-style trace is a session containing every attending
+// student. Modelling the clique directly follows the paper's simulation
+// assumption that communication cliques do not overlap in the evaluated
+// traces: DieselNet contains only pairwise contacts, and NUS students hear
+// each other iff they are in the same classroom.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// NodeID identifies a node in a trace: a dense index in [0, NodeCount).
+type NodeID int
+
+// Session is a maximal set of nodes that are mutually connected during
+// [Start, End). Nodes is sorted and free of duplicates.
+type Session struct {
+	Start simtime.Time
+	End   simtime.Time
+	Nodes []NodeID
+}
+
+// Duration returns the session length.
+func (s Session) Duration() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Contains reports whether id participates in the session.
+func (s Session) Contains(id NodeID) bool {
+	i := sort.Search(len(s.Nodes), func(i int) bool { return s.Nodes[i] >= id })
+	return i < len(s.Nodes) && s.Nodes[i] == id
+}
+
+// Pairwise reports whether the session involves exactly two nodes.
+func (s Session) Pairwise() bool { return len(s.Nodes) == 2 }
+
+// Trace is a contact trace: a node population plus its sessions in
+// chronological (Start, then End, then first node) order.
+type Trace struct {
+	// Name labels the trace (e.g. "dieselnet-synth").
+	Name string
+	// NodeCount is the population size; all session members are < NodeCount.
+	NodeCount int
+	// Sessions holds the contacts sorted by start time.
+	Sessions []Session
+}
+
+// Validation errors.
+var (
+	ErrNoNodes        = errors.New("trace: node count must be positive")
+	ErrSessionOrder   = errors.New("trace: sessions not sorted by start time")
+	ErrSessionEmpty   = errors.New("trace: session needs at least two nodes")
+	ErrSessionNodes   = errors.New("trace: session nodes not sorted and unique")
+	ErrNodeRange      = errors.New("trace: session node out of range")
+	ErrSessionEndsLtS = errors.New("trace: session must end after it starts")
+)
+
+// Validate checks the structural invariants every consumer relies on.
+func (t *Trace) Validate() error {
+	if t.NodeCount <= 0 {
+		return ErrNoNodes
+	}
+	var prev simtime.Time
+	for i, s := range t.Sessions {
+		if s.Start < prev {
+			return fmt.Errorf("session %d starts at %v before %v: %w", i, s.Start, prev, ErrSessionOrder)
+		}
+		prev = s.Start
+		if s.End <= s.Start {
+			return fmt.Errorf("session %d [%v,%v): %w", i, s.Start, s.End, ErrSessionEndsLtS)
+		}
+		if len(s.Nodes) < 2 {
+			return fmt.Errorf("session %d has %d nodes: %w", i, len(s.Nodes), ErrSessionEmpty)
+		}
+		for j, id := range s.Nodes {
+			if id < 0 || int(id) >= t.NodeCount {
+				return fmt.Errorf("session %d node %d: %w", i, id, ErrNodeRange)
+			}
+			if j > 0 && s.Nodes[j-1] >= id {
+				return fmt.Errorf("session %d: %w", i, ErrSessionNodes)
+			}
+		}
+	}
+	return nil
+}
+
+// End returns the end time of the last-ending session, or zero for an
+// empty trace.
+func (t *Trace) End() simtime.Time {
+	var end simtime.Time
+	for _, s := range t.Sessions {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Days returns the number of whole-or-partial days the trace spans.
+func (t *Trace) Days() int {
+	end := t.End()
+	if end == 0 {
+		return 0
+	}
+	return (end - 1).Day() + 1
+}
+
+// SortSessions restores chronological order after construction, using a
+// stable sort keyed by (Start, End, first node) so equal keys keep their
+// construction order.
+func (t *Trace) SortSessions() {
+	sort.SliceStable(t.Sessions, func(i, j int) bool {
+		a, b := t.Sessions[i], t.Sessions[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return firstNode(a) < firstNode(b)
+	})
+}
+
+func firstNode(s Session) NodeID {
+	if len(s.Nodes) == 0 {
+		return -1
+	}
+	return s.Nodes[0]
+}
+
+// NewSession builds a session from an arbitrary node list, sorting and
+// de-duplicating it.
+func NewSession(start, end simtime.Time, nodes []NodeID) Session {
+	sorted := make([]NodeID, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || sorted[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return Session{Start: start, End: end, Nodes: out}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func validTrace() *Trace {
+	return &Trace{
+		Name:      "test",
+		NodeCount: 5,
+		Sessions: []Session{
+			{Start: 0, End: 100, Nodes: []NodeID{0, 1}},
+			{Start: 50, End: 150, Nodes: []NodeID{2, 3, 4}},
+			{Start: 200, End: 300, Nodes: []NodeID{0, 4}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Trace)
+		wantErr error
+	}{
+		{"no nodes", func(tr *Trace) { tr.NodeCount = 0 }, ErrNoNodes},
+		{"unsorted sessions", func(tr *Trace) {
+			tr.Sessions[0].Start = 60
+		}, ErrSessionOrder},
+		{"end before start", func(tr *Trace) {
+			tr.Sessions[1].End = tr.Sessions[1].Start
+		}, ErrSessionEndsLtS},
+		{"one-node session", func(tr *Trace) {
+			tr.Sessions[0].Nodes = []NodeID{1}
+		}, ErrSessionEmpty},
+		{"duplicate node", func(tr *Trace) {
+			tr.Sessions[0].Nodes = []NodeID{1, 1}
+		}, ErrSessionNodes},
+		{"unsorted nodes", func(tr *Trace) {
+			tr.Sessions[1].Nodes = []NodeID{3, 2, 4}
+		}, ErrSessionNodes},
+		{"node out of range", func(tr *Trace) {
+			tr.Sessions[2].Nodes = []NodeID{0, 5}
+		}, ErrNodeRange},
+		{"negative node", func(tr *Trace) {
+			tr.Sessions[0].Nodes = []NodeID{-1, 0}
+		}, ErrNodeRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := validTrace()
+			tt.mutate(tr)
+			if err := tr.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSessionContains(t *testing.T) {
+	s := Session{Nodes: []NodeID{1, 3, 5}}
+	for _, id := range []NodeID{1, 3, 5} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []NodeID{0, 2, 4, 6} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestSessionPairwiseAndDuration(t *testing.T) {
+	s := Session{Start: 10, End: 40, Nodes: []NodeID{1, 2}}
+	if !s.Pairwise() {
+		t.Error("two-node session not pairwise")
+	}
+	if s.Duration() != 30 {
+		t.Errorf("Duration = %v, want 30", s.Duration())
+	}
+	s.Nodes = []NodeID{1, 2, 3}
+	if s.Pairwise() {
+		t.Error("three-node session reported pairwise")
+	}
+}
+
+func TestNewSessionSortsAndDedups(t *testing.T) {
+	s := NewSession(0, 10, []NodeID{4, 2, 4, 1, 2})
+	want := []NodeID{1, 2, 4}
+	if len(s.Nodes) != len(want) {
+		t.Fatalf("nodes = %v, want %v", s.Nodes, want)
+	}
+	for i := range want {
+		if s.Nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", s.Nodes, want)
+		}
+	}
+}
+
+func TestEndAndDays(t *testing.T) {
+	tr := validTrace()
+	if got := tr.End(); got != 300 {
+		t.Fatalf("End = %v, want 300", got)
+	}
+	if got := tr.Days(); got != 1 {
+		t.Fatalf("Days = %d, want 1", got)
+	}
+	tr.Sessions = append(tr.Sessions, Session{
+		Start: simtime.At(2, simtime.Hour),
+		End:   simtime.At(2, 2*simtime.Hour),
+		Nodes: []NodeID{0, 1},
+	})
+	if got := tr.Days(); got != 3 {
+		t.Fatalf("Days = %d, want 3", got)
+	}
+	empty := &Trace{NodeCount: 1}
+	if empty.Days() != 0 || empty.End() != 0 {
+		t.Fatal("empty trace must have zero end and days")
+	}
+}
+
+func TestDaysExactBoundary(t *testing.T) {
+	tr := &Trace{NodeCount: 2, Sessions: []Session{
+		{Start: 0, End: simtime.Time(simtime.Day), Nodes: []NodeID{0, 1}},
+	}}
+	if got := tr.Days(); got != 1 {
+		t.Fatalf("session ending exactly at day boundary: Days = %d, want 1", got)
+	}
+}
+
+func TestSortSessions(t *testing.T) {
+	tr := &Trace{
+		NodeCount: 4,
+		Sessions: []Session{
+			{Start: 100, End: 200, Nodes: []NodeID{0, 1}},
+			{Start: 0, End: 50, Nodes: []NodeID{2, 3}},
+			{Start: 100, End: 150, Nodes: []NodeID{1, 2}},
+		},
+	}
+	tr.SortSessions()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("sorted trace invalid: %v", err)
+	}
+	if tr.Sessions[0].Start != 0 {
+		t.Fatal("sort did not order by start")
+	}
+	if tr.Sessions[1].End != 150 {
+		t.Fatal("sort did not tie-break by end")
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if p := MakePair(3, 1); p.A != 1 || p.B != 3 {
+		t.Fatalf("MakePair(3,1) = %+v", p)
+	}
+	if p := MakePair(1, 3); p.A != 1 || p.B != 3 {
+		t.Fatalf("MakePair(1,3) = %+v", p)
+	}
+}

@@ -1,0 +1,203 @@
+package tracegen
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// NUSConfig parameterizes the NUS-style campus-schedule generator.
+type NUSConfig struct {
+	// Students is the node population.
+	Students int
+	// Classes is the number of distinct courses.
+	Classes int
+	// EnrollPerStudent is how many courses each student takes.
+	EnrollPerStudent int
+	// MeetingsPerWeek is how many weekly meetings each course holds.
+	MeetingsPerWeek int
+	// SlotsPerDay is the number of teaching slots per weekday; slot i
+	// starts at 08:00 + i*2h and lasts SlotLength.
+	SlotsPerDay int
+	// SlotLength is the session duration.
+	SlotLength simtime.Duration
+	// Days is the trace length in days. Weekends (day%7 in {5,6}) hold no
+	// classes.
+	Days int
+	// Attendance is the probability a student attends a scheduled
+	// meeting; the Figure 3(f) x-axis.
+	Attendance float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// DefaultNUS is a laptop-scale version of the NUS student trace: the real
+// one covers tens of thousands of students; we keep the same structure
+// (class cliques from a weekly schedule) at a few hundred nodes.
+func DefaultNUS() NUSConfig {
+	return NUSConfig{
+		Students:         200,
+		Classes:          40,
+		EnrollPerStudent: 4,
+		MeetingsPerWeek:  2,
+		SlotsPerDay:      5,
+		SlotLength:       2 * simtime.Hour,
+		Days:             14,
+		Attendance:       0.9,
+		Seed:             1,
+	}
+}
+
+const nusFirstSlot = 8 * simtime.Hour
+
+// NUS generates an NUS-style classroom-clique contact trace.
+//
+// Each course is assigned MeetingsPerWeek distinct (weekday, slot) pairs.
+// Each student enrolls in EnrollPerStudent distinct courses. When two of a
+// student's courses meet in the same (weekday, slot), the student attends
+// only the lower-numbered course, so cliques never overlap — matching the
+// paper's assumption for this trace. Scheduled attendance is then thinned
+// by the attendance rate; meetings with at least two attendees become
+// sessions.
+func NUS(cfg NUSConfig) (*trace.Trace, error) {
+	if err := validateNUS(cfg); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+
+	type meeting struct {
+		weekday, slot int
+	}
+	weekSlots := 5 * cfg.SlotsPerDay
+
+	// Schedule courses into (weekday, slot) pairs.
+	courseMeetings := make([][]meeting, cfg.Classes)
+	for c := range courseMeetings {
+		picks := r.Perm(weekSlots)[:cfg.MeetingsPerWeek]
+		for _, p := range picks {
+			courseMeetings[c] = append(courseMeetings[c], meeting{
+				weekday: p / cfg.SlotsPerDay,
+				slot:    p % cfg.SlotsPerDay,
+			})
+		}
+	}
+
+	// Enroll students.
+	enrolled := make([][]int, cfg.Students) // student -> sorted course ids
+	for s := range enrolled {
+		perm := r.Perm(cfg.Classes)[:cfg.EnrollPerStudent]
+		courses := append([]int(nil), perm...)
+		sortInts(courses)
+		enrolled[s] = courses
+	}
+
+	// Resolve per-student timetables: for each (weekday, slot) the student
+	// attends the lowest-numbered enrolled course meeting then.
+	attends := make([]map[meeting]int, cfg.Students)
+	for s, courses := range enrolled {
+		attends[s] = make(map[meeting]int)
+		for _, c := range courses {
+			for _, m := range courseMeetings[c] {
+				if _, taken := attends[s][m]; !taken {
+					attends[s][m] = c
+				}
+			}
+		}
+	}
+
+	// Roster per course meeting.
+	type meetingKey struct {
+		course        int
+		weekday, slot int
+	}
+	rosters := make(map[meetingKey][]trace.NodeID)
+	for s := range attends {
+		for m, c := range attends[s] {
+			k := meetingKey{course: c, weekday: m.weekday, slot: m.slot}
+			rosters[k] = append(rosters[k], trace.NodeID(s))
+		}
+	}
+
+	tr := &trace.Trace{Name: "nus-synth", NodeCount: cfg.Students}
+	for day := 0; day < cfg.Days; day++ {
+		weekday := day % 7
+		if weekday >= 5 {
+			continue // weekend
+		}
+		for c := 0; c < cfg.Classes; c++ {
+			for _, m := range courseMeetings[c] {
+				if m.weekday != weekday {
+					continue
+				}
+				roster := rosters[meetingKey{course: c, weekday: m.weekday, slot: m.slot}]
+				var present []trace.NodeID
+				for _, s := range roster {
+					if r.Bool(cfg.Attendance) {
+						present = append(present, s)
+					}
+				}
+				if len(present) < 2 {
+					continue
+				}
+				start := simtime.At(day, nusFirstSlot+
+					simtime.Duration(m.slot)*cfg.SlotLength)
+				tr.Sessions = append(tr.Sessions, trace.NewSession(
+					start, start.Add(cfg.SlotLength), present))
+			}
+		}
+	}
+	tr.SortSessions()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid nus trace: %w", err)
+	}
+	return tr, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}
+
+func validateNUS(cfg NUSConfig) error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Students", cfg.Students},
+		{"Classes", cfg.Classes},
+		{"EnrollPerStudent", cfg.EnrollPerStudent},
+		{"MeetingsPerWeek", cfg.MeetingsPerWeek},
+		{"SlotsPerDay", cfg.SlotsPerDay},
+		{"Days", cfg.Days},
+	} {
+		if err := validatePositive(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if cfg.Students < 2 {
+		return fmt.Errorf("Students = %d needs at least 2: %w", cfg.Students, ErrConfig)
+	}
+	if cfg.EnrollPerStudent > cfg.Classes {
+		return fmt.Errorf("EnrollPerStudent %d > Classes %d: %w",
+			cfg.EnrollPerStudent, cfg.Classes, ErrConfig)
+	}
+	if cfg.MeetingsPerWeek > 5*cfg.SlotsPerDay {
+		return fmt.Errorf("MeetingsPerWeek %d exceeds weekly slots %d: %w",
+			cfg.MeetingsPerWeek, 5*cfg.SlotsPerDay, ErrConfig)
+	}
+	if cfg.SlotLength <= 0 {
+		return fmt.Errorf("SlotLength = %v must be positive: %w", cfg.SlotLength, ErrConfig)
+	}
+	if nusFirstSlot+simtime.Duration(cfg.SlotsPerDay)*cfg.SlotLength > simtime.Day {
+		return fmt.Errorf("slots overflow the day: %w", ErrConfig)
+	}
+	if cfg.Attendance < 0 || cfg.Attendance > 1 {
+		return fmt.Errorf("Attendance = %v not in [0,1]: %w", cfg.Attendance, ErrConfig)
+	}
+	return nil
+}

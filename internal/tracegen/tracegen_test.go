@@ -1,0 +1,440 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestPoissonMean(t *testing.T) {
+	r := rng.New(1)
+	for _, mean := range []float64{0.3, 1, 4} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(r, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.01 {
+			t.Fatalf("poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegativeMean(t *testing.T) {
+	r := rng.New(1)
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Fatal("poisson with non-positive mean must be 0")
+	}
+}
+
+func TestClampDuration(t *testing.T) {
+	tests := []struct {
+		d, min, max, want simtime.Duration
+	}{
+		{5, 10, 20, 10},
+		{15, 10, 20, 15},
+		{25, 10, 20, 20},
+	}
+	for _, tt := range tests {
+		if got := clampDuration(tt.d, tt.min, tt.max); got != tt.want {
+			t.Errorf("clampDuration(%d,%d,%d) = %d, want %d", tt.d, tt.min, tt.max, got, tt.want)
+		}
+	}
+}
+
+func TestDieselGeneratesValidPairwiseTrace(t *testing.T) {
+	tr, err := Diesel(DefaultDiesel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	for i, s := range tr.Sessions {
+		if !s.Pairwise() {
+			t.Fatalf("session %d has %d nodes; diesel must be pairwise", i, len(s.Nodes))
+		}
+		off := s.Start.DayOffset()
+		if off < dieselDayStart || off >= dieselDayEnd {
+			t.Fatalf("session %d starts at %v outside operating hours", i, s.Start)
+		}
+	}
+}
+
+func TestDieselDeterministic(t *testing.T) {
+	a, err := Diesel(DefaultDiesel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Diesel(DefaultDiesel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ: %d vs %d", len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		sa, sb := a.Sessions[i], b.Sessions[i]
+		if sa.Start != sb.Start || sa.End != sb.End || sa.Nodes[0] != sb.Nodes[0] || sa.Nodes[1] != sb.Nodes[1] {
+			t.Fatalf("session %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestDieselSeedChangesTrace(t *testing.T) {
+	cfg := DefaultDiesel()
+	a, _ := Diesel(cfg)
+	cfg.Seed = 2
+	b, _ := Diesel(cfg)
+	if len(a.Sessions) == len(b.Sessions) {
+		same := true
+		for i := range a.Sessions {
+			if a.Sessions[i].Start != b.Sessions[i].Start {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestDieselRouteLocality(t *testing.T) {
+	cfg := DefaultDiesel()
+	cfg.Days = 30
+	tr, err := Diesel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.NewStats(tr)
+	// Buses 0 and 8 share route 0; buses 0 and 4 are on non-adjacent
+	// routes (0 and 4 of 8). Same-route pairs must meet far more often.
+	sameRoute := stats.PairContacts(0, 8)
+	farRoute := stats.PairContacts(0, 4)
+	if sameRoute <= 3*farRoute {
+		t.Fatalf("route locality missing: same-route %d vs far-route %d contacts",
+			sameRoute, farRoute)
+	}
+}
+
+func TestDieselFrequentContactsExist(t *testing.T) {
+	tr, err := Diesel(DefaultDiesel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's DieselNet rule: contact at least every 3 days.
+	freq := trace.NewStats(tr).FrequentContacts(1.0 / 3.0)
+	if len(freq) == 0 {
+		t.Fatal("no frequent contacts at 1/3 per day; same-route pairs should qualify")
+	}
+}
+
+func TestDieselConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*DieselConfig)
+	}{
+		{"zero buses", func(c *DieselConfig) { c.Buses = 0 }},
+		{"one bus", func(c *DieselConfig) { c.Buses = 1 }},
+		{"zero routes", func(c *DieselConfig) { c.Routes = 0 }},
+		{"zero days", func(c *DieselConfig) { c.Days = 0 }},
+		{"negative same-route rate", func(c *DieselConfig) { c.SameRouteMeetingsPerDay = -1 }},
+		{"negative cross-route rate", func(c *DieselConfig) { c.CrossRouteMeetingsPerDay = -1 }},
+		{"zero contact", func(c *DieselConfig) { c.MeanContact = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultDiesel()
+			tt.mutate(&cfg)
+			if _, err := Diesel(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestAdjacentRoutes(t *testing.T) {
+	tests := []struct {
+		a, b, n int
+		want    bool
+	}{
+		{0, 1, 8, true},
+		{1, 0, 8, true},
+		{0, 7, 8, true}, // ring wrap
+		{0, 2, 8, false},
+		{3, 3, 8, false},
+		{0, 0, 1, false},
+	}
+	for _, tt := range tests {
+		if got := adjacentRoutes(tt.a, tt.b, tt.n); got != tt.want {
+			t.Errorf("adjacentRoutes(%d,%d,%d) = %v", tt.a, tt.b, tt.n, got)
+		}
+	}
+}
+
+func TestNUSGeneratesValidCliqueTrace(t *testing.T) {
+	tr, err := NUS(DefaultNUS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	larger := 0
+	for _, s := range tr.Sessions {
+		if len(s.Nodes) > 2 {
+			larger++
+		}
+	}
+	if larger == 0 {
+		t.Fatal("NUS trace has no multi-node classroom sessions")
+	}
+}
+
+func TestNUSNoWeekendSessions(t *testing.T) {
+	tr, err := NUS(DefaultNUS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Sessions {
+		if wd := s.Start.Day() % 7; wd >= 5 {
+			t.Fatalf("session on weekend day %d", s.Start.Day())
+		}
+	}
+}
+
+func TestNUSCliquesDoNotOverlap(t *testing.T) {
+	// A student must never be in two simultaneous sessions — this is the
+	// paper's stated property of the NUS trace.
+	tr, err := NUS(DefaultNUS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type slotKey struct {
+		start simtime.Time
+		node  trace.NodeID
+	}
+	seen := make(map[slotKey]bool)
+	for _, s := range tr.Sessions {
+		for _, n := range s.Nodes {
+			k := slotKey{start: s.Start, node: n}
+			if seen[k] {
+				t.Fatalf("node %d in two sessions starting at %v", n, s.Start)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestNUSAttendanceThinsSessions(t *testing.T) {
+	full := DefaultNUS()
+	full.Attendance = 1
+	thin := DefaultNUS()
+	thin.Attendance = 0.5
+	trFull, err := NUS(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trThin, err := NUS(thin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumNodes := func(tr *trace.Trace) int {
+		total := 0
+		for _, s := range tr.Sessions {
+			total += len(s.Nodes)
+		}
+		return total
+	}
+	if sumNodes(trThin) >= sumNodes(trFull) {
+		t.Fatalf("attendance 0.5 (%d attendances) not thinner than 1.0 (%d)",
+			sumNodes(trThin), sumNodes(trFull))
+	}
+}
+
+func TestNUSZeroAttendanceEmpty(t *testing.T) {
+	cfg := DefaultNUS()
+	cfg.Attendance = 0
+	tr, err := NUS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) != 0 {
+		t.Fatalf("attendance 0 produced %d sessions", len(tr.Sessions))
+	}
+}
+
+func TestNUSDeterministic(t *testing.T) {
+	a, err := NUS(DefaultNUS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NUS(DefaultNUS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ: %d vs %d", len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].Start != b.Sessions[i].Start ||
+			len(a.Sessions[i].Nodes) != len(b.Sessions[i].Nodes) {
+			t.Fatalf("session %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestNUSWeeklyRepetition(t *testing.T) {
+	// With full attendance, week 2 repeats week 1's schedule exactly.
+	cfg := DefaultNUS()
+	cfg.Attendance = 1
+	cfg.Days = 14
+	tr, err := NUS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStart := make(map[simtime.Time]int)
+	for _, s := range tr.Sessions {
+		byStart[s.Start]++
+	}
+	for start, count := range byStart {
+		if start.Day() >= 7 {
+			continue
+		}
+		other := start.Add(7 * simtime.Day)
+		if byStart[other] != count {
+			t.Fatalf("week 2 slot %v has %d sessions, week 1 had %d",
+				other, byStart[other], count)
+		}
+	}
+}
+
+func TestNUSFrequentContactsExist(t *testing.T) {
+	cfg := DefaultNUS()
+	cfg.Attendance = 1
+	tr, err := NUS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's NUS rule: contacts at least once per day. Not every pair
+	// qualifies, but classmates sharing several courses should.
+	freq := trace.NewStats(tr).FrequentContacts(0.5)
+	if len(freq) == 0 {
+		t.Fatal("no frequent contacts at 0.5/day in a full-attendance NUS trace")
+	}
+}
+
+func TestNUSConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*NUSConfig)
+	}{
+		{"zero students", func(c *NUSConfig) { c.Students = 0 }},
+		{"one student", func(c *NUSConfig) { c.Students = 1 }},
+		{"zero classes", func(c *NUSConfig) { c.Classes = 0 }},
+		{"enroll exceeds classes", func(c *NUSConfig) { c.EnrollPerStudent = c.Classes + 1 }},
+		{"zero meetings", func(c *NUSConfig) { c.MeetingsPerWeek = 0 }},
+		{"meetings exceed slots", func(c *NUSConfig) { c.MeetingsPerWeek = 5*c.SlotsPerDay + 1 }},
+		{"zero slots", func(c *NUSConfig) { c.SlotsPerDay = 0 }},
+		{"zero slot length", func(c *NUSConfig) { c.SlotLength = 0 }},
+		{"slots overflow day", func(c *NUSConfig) { c.SlotsPerDay = 9; c.SlotLength = 2 * simtime.Hour }},
+		{"zero days", func(c *NUSConfig) { c.Days = 0 }},
+		{"attendance below 0", func(c *NUSConfig) { c.Attendance = -0.1 }},
+		{"attendance above 1", func(c *NUSConfig) { c.Attendance = 1.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultNUS()
+			tt.mutate(&cfg)
+			if _, err := NUS(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestUniformValid(t *testing.T) {
+	tr, err := Uniform(DefaultUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) != DefaultUniform().Sessions {
+		t.Fatalf("sessions = %d, want %d", len(tr.Sessions), DefaultUniform().Sessions)
+	}
+}
+
+func TestUniformPropertyAlwaysValid(t *testing.T) {
+	f := func(seed uint64, nodes, sessions uint8) bool {
+		cfg := UniformConfig{
+			Nodes:           2 + int(nodes%50),
+			Sessions:        int(sessions % 100),
+			MaxSessionNodes: 2,
+			Days:            3,
+			MeanDuration:    time30s,
+			Seed:            seed,
+		}
+		if cfg.MaxSessionNodes > cfg.Nodes {
+			cfg.MaxSessionNodes = cfg.Nodes
+		}
+		tr, err := Uniform(cfg)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil && len(tr.Sessions) == cfg.Sessions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const time30s = 30 * simtime.Second
+
+func TestUniformConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*UniformConfig)
+	}{
+		{"zero nodes", func(c *UniformConfig) { c.Nodes = 0 }},
+		{"one node", func(c *UniformConfig) { c.Nodes = 1 }},
+		{"negative sessions", func(c *UniformConfig) { c.Sessions = -1 }},
+		{"max below 2", func(c *UniformConfig) { c.MaxSessionNodes = 1 }},
+		{"max above nodes", func(c *UniformConfig) { c.MaxSessionNodes = c.Nodes + 1 }},
+		{"zero days", func(c *UniformConfig) { c.Days = 0 }},
+		{"zero duration", func(c *UniformConfig) { c.MeanDuration = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultUniform()
+			tt.mutate(&cfg)
+			if _, err := Uniform(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	v := []int{5, 2, 9, 1, 2}
+	sortInts(v)
+	want := []int{1, 2, 2, 5, 9}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("sortInts = %v", v)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package tracegen
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// UniformConfig parameterizes a structure-free random trace: sessions of
+// random membership at random times. It has none of the locality of the
+// DieselNet or NUS traces and exists for property tests and stress tests.
+type UniformConfig struct {
+	// Nodes is the population size.
+	Nodes int
+	// Sessions is the number of sessions to generate.
+	Sessions int
+	// MaxSessionNodes bounds the session size; sizes are uniform in
+	// [2, MaxSessionNodes].
+	MaxSessionNodes int
+	// Days is the time span over which session start times are drawn.
+	Days int
+	// MeanDuration is the mean of the exponentially distributed session
+	// length, clamped to [1s, 10*mean].
+	MeanDuration simtime.Duration
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// DefaultUniform returns a small random trace configuration.
+func DefaultUniform() UniformConfig {
+	return UniformConfig{
+		Nodes:           30,
+		Sessions:        500,
+		MaxSessionNodes: 5,
+		Days:            7,
+		MeanDuration:    5 * simtime.Minute,
+		Seed:            1,
+	}
+}
+
+// Uniform generates a structure-free random trace.
+func Uniform(cfg UniformConfig) (*trace.Trace, error) {
+	if err := validateUniform(cfg); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	tr := &trace.Trace{Name: "uniform-synth", NodeCount: cfg.Nodes}
+	span := simtime.Days(cfg.Days)
+	for i := 0; i < cfg.Sessions; i++ {
+		size := 2 + r.Intn(cfg.MaxSessionNodes-1)
+		perm := r.Perm(cfg.Nodes)[:size]
+		nodes := make([]trace.NodeID, size)
+		for j, v := range perm {
+			nodes[j] = trace.NodeID(v)
+		}
+		start := simtime.Time(r.Intn(int(span)))
+		dur := simtime.Duration(float64(cfg.MeanDuration) * r.ExpFloat64())
+		dur = clampDuration(dur, simtime.Second, 10*cfg.MeanDuration)
+		tr.Sessions = append(tr.Sessions, trace.NewSession(start, start.Add(dur), nodes))
+	}
+	tr.SortSessions()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid uniform trace: %w", err)
+	}
+	return tr, nil
+}
+
+func validateUniform(cfg UniformConfig) error {
+	if err := validatePositive("Nodes", cfg.Nodes); err != nil {
+		return err
+	}
+	if cfg.Nodes < 2 {
+		return fmt.Errorf("Nodes = %d needs at least 2: %w", cfg.Nodes, ErrConfig)
+	}
+	if cfg.Sessions < 0 {
+		return fmt.Errorf("Sessions = %d must be non-negative: %w", cfg.Sessions, ErrConfig)
+	}
+	if cfg.MaxSessionNodes < 2 || cfg.MaxSessionNodes > cfg.Nodes {
+		return fmt.Errorf("MaxSessionNodes = %d not in [2, Nodes]: %w", cfg.MaxSessionNodes, ErrConfig)
+	}
+	if err := validatePositive("Days", cfg.Days); err != nil {
+		return err
+	}
+	if cfg.MeanDuration <= 0 {
+		return fmt.Errorf("MeanDuration = %v must be positive: %w", cfg.MeanDuration, ErrConfig)
+	}
+	return nil
+}

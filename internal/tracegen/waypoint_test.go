@@ -1,0 +1,138 @@
+package tracegen
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestWaypointGeneratesValidTrace(t *testing.T) {
+	cfg := DefaultWaypoint()
+	cfg.Days = 2
+	tr, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) == 0 {
+		t.Fatal("no sessions generated")
+	}
+}
+
+func TestWaypointCliquesNonOverlapping(t *testing.T) {
+	// A node sits in exactly one cell per epoch, so sessions starting at
+	// the same instant never share a node.
+	cfg := DefaultWaypoint()
+	cfg.Days = 1
+	tr, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		start simtime.Time
+		node  trace.NodeID
+	}
+	seen := make(map[key]bool)
+	for _, s := range tr.Sessions {
+		for _, n := range s.Nodes {
+			k := key{s.Start, n}
+			if seen[k] {
+				t.Fatalf("node %d in two cells at %v", n, s.Start)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestWaypointSessionsLastOneEpoch(t *testing.T) {
+	cfg := DefaultWaypoint()
+	cfg.Days = 1
+	tr, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Sessions {
+		if s.Duration() != cfg.Epoch {
+			t.Fatalf("session duration %v, want one epoch %v", s.Duration(), cfg.Epoch)
+		}
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	cfg := DefaultWaypoint()
+	cfg.Days = 1
+	a, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ: %d vs %d", len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].Start != b.Sessions[i].Start ||
+			len(a.Sessions[i].Nodes) != len(b.Sessions[i].Nodes) {
+			t.Fatalf("session %d differs", i)
+		}
+	}
+}
+
+func TestWaypointMobilityMixesPopulation(t *testing.T) {
+	// Over a week, random waypoint should bring most node pairs into
+	// contact at least once — unlike the static classroom schedule.
+	cfg := DefaultWaypoint()
+	tr, err := Waypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.NewStats(tr)
+	met := 0
+	pairs := 0
+	for a := 0; a < cfg.Nodes; a++ {
+		for b := a + 1; b < cfg.Nodes; b++ {
+			pairs++
+			if st.PairContacts(trace.NodeID(a), trace.NodeID(b)) > 0 {
+				met++
+			}
+		}
+	}
+	if frac := float64(met) / float64(pairs); frac < 0.5 {
+		t.Fatalf("only %.0f%% of pairs ever met; mobility not mixing", frac*100)
+	}
+}
+
+func TestWaypointConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*WaypointConfig)
+	}{
+		{"one node", func(c *WaypointConfig) { c.Nodes = 1 }},
+		{"zero cells x", func(c *WaypointConfig) { c.CellsX = 0 }},
+		{"zero cells y", func(c *WaypointConfig) { c.CellsY = 0 }},
+		{"zero days", func(c *WaypointConfig) { c.Days = 0 }},
+		{"zero speed", func(c *WaypointConfig) { c.Speed = 0 }},
+		{"negative pause", func(c *WaypointConfig) { c.Pause = -1 }},
+		{"zero epoch", func(c *WaypointConfig) { c.Epoch = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultWaypoint()
+			tt.mutate(&cfg)
+			if _, err := Waypoint(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if clampInt(-1, 0, 7) != 0 || clampInt(9, 0, 7) != 7 || clampInt(3, 0, 7) != 3 {
+		t.Fatal("clampInt wrong")
+	}
+}

@@ -1,0 +1,471 @@
+// Package wire defines the on-air message formats of §III-B and their
+// binary codec. Nodes exchange exactly three kinds of messages:
+//
+//   - hello beacons — node ID, the IDs heard in the past 5 seconds, the
+//     node's query strings, and the URIs of the files it is downloading;
+//   - metadata records — the discovery phase's payload, carrying the
+//     advisory popularity alongside the signed record;
+//   - file pieces — the download phase's payload, optionally carrying a
+//     piggybacked metadata record (MBT-QM).
+//
+// The format is a fixed header (magic, version, type) followed by
+// length-prefixed fields in big-endian order. Decoding is strict: junk,
+// truncation, or trailing bytes are errors, and a decoded piece can be
+// verified against its file's checksums before it is stored.
+package wire
+
+import (
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Message type tags.
+type MsgType byte
+
+// The three on-air message kinds.
+const (
+	TypeHello MsgType = iota + 1
+	TypeMetadata
+	TypePiece
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeMetadata:
+		return "metadata"
+	case TypePiece:
+		return "piece"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+const (
+	magic   = 0xD7
+	version = 1
+)
+
+// Limits guard against hostile lengths.
+const (
+	maxStrLen  = 64 * 1024
+	maxListLen = 64 * 1024
+	maxDataLen = 16 * 1024 * 1024
+)
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrBadMagic  = errors.New("wire: bad magic byte")
+	ErrBadVer    = errors.New("wire: unsupported version")
+	ErrBadType   = errors.New("wire: unknown message type")
+	ErrTrailing  = errors.New("wire: trailing bytes after message")
+	ErrTooLong   = errors.New("wire: field exceeds limit")
+)
+
+// Hello is the beacon message.
+type Hello struct {
+	From        trace.NodeID
+	Heard       []trace.NodeID
+	Queries     []string
+	Downloading []metadata.URI
+}
+
+// Metadata is the discovery payload.
+type Metadata struct {
+	Popularity float64
+	Record     metadata.Metadata
+}
+
+// Piece is the download payload.
+type Piece struct {
+	URI   metadata.URI
+	Index int
+	Total int
+	Data  []byte
+	// Piggyback optionally carries the file's metadata (MBT-QM).
+	Piggyback *Metadata
+}
+
+// buffer accumulates an encoded message.
+type buffer struct{ b []byte }
+
+func (w *buffer) byte(v byte)     { w.b = append(w.b, v) }
+func (w *buffer) uint32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *buffer) uint64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *buffer) str(s string) {
+	w.uint32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *buffer) bytes(p []byte) {
+	w.uint32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// reader consumes an encoded message.
+type reader struct{ b []byte }
+
+func (r *reader) byte() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) str(limit int) (string, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > limit {
+		return "", fmt.Errorf("string length %d: %w", n, ErrTooLong)
+	}
+	if len(r.b) < int(n) {
+		return "", ErrTruncated
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *reader) bytes(limit int) ([]byte, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > limit {
+		return nil, fmt.Errorf("byte length %d: %w", n, ErrTooLong)
+	}
+	if len(r.b) < int(n) {
+		return nil, ErrTruncated
+	}
+	p := make([]byte, n)
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return p, nil
+}
+
+func header(t MsgType) *buffer {
+	w := &buffer{}
+	w.byte(magic)
+	w.byte(version)
+	w.byte(byte(t))
+	return w
+}
+
+// EncodeHello serializes a hello beacon.
+func EncodeHello(h *Hello) []byte {
+	w := header(TypeHello)
+	w.uint32(uint32(h.From))
+	w.uint32(uint32(len(h.Heard)))
+	for _, id := range h.Heard {
+		w.uint32(uint32(id))
+	}
+	w.uint32(uint32(len(h.Queries)))
+	for _, q := range h.Queries {
+		w.str(q)
+	}
+	w.uint32(uint32(len(h.Downloading)))
+	for _, uri := range h.Downloading {
+		w.str(string(uri))
+	}
+	return w.b
+}
+
+// encodeMetadataBody appends the metadata payload without a header.
+func encodeMetadataBody(w *buffer, m *Metadata) {
+	w.uint64(math.Float64bits(m.Popularity))
+	rec := &m.Record
+	w.str(string(rec.URI))
+	w.str(rec.Name)
+	w.str(rec.Publisher)
+	w.str(rec.Description)
+	w.uint64(uint64(rec.Size))
+	w.uint32(uint32(rec.PieceSize))
+	w.uint64(uint64(rec.Created))
+	w.uint64(uint64(rec.Expires))
+	w.uint32(uint32(len(rec.PieceHashes)))
+	for _, h := range rec.PieceHashes {
+		w.b = append(w.b, h[:]...)
+	}
+	w.b = append(w.b, rec.Signature[:]...)
+}
+
+// EncodeMetadata serializes a discovery payload.
+func EncodeMetadata(m *Metadata) []byte {
+	w := header(TypeMetadata)
+	encodeMetadataBody(w, m)
+	return w.b
+}
+
+// EncodePiece serializes a download payload.
+func EncodePiece(p *Piece) []byte {
+	w := header(TypePiece)
+	w.str(string(p.URI))
+	w.uint32(uint32(p.Index))
+	w.uint32(uint32(p.Total))
+	w.bytes(p.Data)
+	if p.Piggyback != nil {
+		w.byte(1)
+		encodeMetadataBody(w, p.Piggyback)
+	} else {
+		w.byte(0)
+	}
+	return w.b
+}
+
+// Peek returns the message type of an encoded buffer without decoding it.
+func Peek(b []byte) (MsgType, error) {
+	if len(b) < 3 {
+		return 0, ErrTruncated
+	}
+	if b[0] != magic {
+		return 0, ErrBadMagic
+	}
+	if b[1] != version {
+		return 0, ErrBadVer
+	}
+	t := MsgType(b[2])
+	switch t {
+	case TypeHello, TypeMetadata, TypePiece:
+		return t, nil
+	default:
+		return 0, fmt.Errorf("type %d: %w", b[2], ErrBadType)
+	}
+}
+
+func openReader(b []byte, want MsgType) (*reader, error) {
+	t, err := Peek(b)
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, fmt.Errorf("got %v, want %v: %w", t, want, ErrBadType)
+	}
+	return &reader{b: b[3:]}, nil
+}
+
+// DecodeHello parses a hello beacon.
+func DecodeHello(b []byte) (*Hello, error) {
+	r, err := openReader(b, TypeHello)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hello{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	h.From = trace.NodeID(from)
+
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("heard list %d: %w", n, ErrTooLong)
+	}
+	for i := uint32(0); i < n; i++ {
+		id, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		h.Heard = append(h.Heard, trace.NodeID(id))
+	}
+
+	n, err = r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("query list %d: %w", n, ErrTooLong)
+	}
+	for i := uint32(0); i < n; i++ {
+		q, err := r.str(maxStrLen)
+		if err != nil {
+			return nil, err
+		}
+		h.Queries = append(h.Queries, q)
+	}
+
+	n, err = r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("download list %d: %w", n, ErrTooLong)
+	}
+	for i := uint32(0); i < n; i++ {
+		uri, err := r.str(maxStrLen)
+		if err != nil {
+			return nil, err
+		}
+		h.Downloading = append(h.Downloading, metadata.URI(uri))
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return h, nil
+}
+
+// decodeMetadataBody parses the metadata payload without a header.
+func decodeMetadataBody(r *reader) (*Metadata, error) {
+	m := &Metadata{}
+	popBits, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Popularity = math.Float64frombits(popBits)
+
+	rec := &m.Record
+	uri, err := r.str(maxStrLen)
+	if err != nil {
+		return nil, err
+	}
+	rec.URI = metadata.URI(uri)
+	if rec.Name, err = r.str(maxStrLen); err != nil {
+		return nil, err
+	}
+	if rec.Publisher, err = r.str(maxStrLen); err != nil {
+		return nil, err
+	}
+	if rec.Description, err = r.str(maxStrLen); err != nil {
+		return nil, err
+	}
+	size, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	rec.Size = int64(size)
+	pieceSize, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	rec.PieceSize = int(pieceSize)
+	created, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	rec.Created = simtime.Time(created)
+	expires, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	rec.Expires = simtime.Time(expires)
+
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("piece hash list %d: %w", n, ErrTooLong)
+	}
+	rec.PieceHashes = make([][sha1.Size]byte, n)
+	for i := uint32(0); i < n; i++ {
+		if len(r.b) < sha1.Size {
+			return nil, ErrTruncated
+		}
+		copy(rec.PieceHashes[i][:], r.b[:sha1.Size])
+		r.b = r.b[sha1.Size:]
+	}
+	if len(r.b) < sha256.Size {
+		return nil, ErrTruncated
+	}
+	copy(rec.Signature[:], r.b[:sha256.Size])
+	r.b = r.b[sha256.Size:]
+	return m, nil
+}
+
+// DecodeMetadata parses a discovery payload.
+func DecodeMetadata(b []byte) (*Metadata, error) {
+	r, err := openReader(b, TypeMetadata)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeMetadataBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// DecodePiece parses a download payload.
+func DecodePiece(b []byte) (*Piece, error) {
+	r, err := openReader(b, TypePiece)
+	if err != nil {
+		return nil, err
+	}
+	p := &Piece{}
+	uri, err := r.str(maxStrLen)
+	if err != nil {
+		return nil, err
+	}
+	p.URI = metadata.URI(uri)
+	idx, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.Index = int(idx)
+	total, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.Total = int(total)
+	if p.Data, err = r.bytes(maxDataLen); err != nil {
+		return nil, err
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flag == 1 {
+		if p.Piggyback, err = decodeMetadataBody(r); err != nil {
+			return nil, err
+		}
+	} else if flag != 0 {
+		return nil, fmt.Errorf("piggyback flag %d: %w", flag, ErrBadType)
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return p, nil
+}
+
+// Verify reports whether the piece's data matches the checksum in the
+// given metadata record (the receiver-side integrity check).
+func (p *Piece) Verify(rec *metadata.Metadata) bool {
+	return rec.URI == p.URI && rec.VerifyPiece(p.Index, p.Data)
+}

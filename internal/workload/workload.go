@@ -1,0 +1,224 @@
+// Package workload generates the paper's synthetic file workload (§VI-A):
+// every day at 14:00 the Internet publishes n new files, each with a
+// time-to-live and a popularity p — the probability that any given node
+// is interested in the file. Popularities follow the truncated
+// exponential density lambda*e^(-lambda*x) with lambda = n/2, so each
+// node generates on average n * (1/lambda) = 2 queries per day. At
+// publication time every node decides interest by an independent
+// Bernoulli(p) draw; interested nodes add a query for the file.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metadata"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// File is one published file with its workload attributes.
+type File struct {
+	// ID is the global catalog index.
+	ID metadata.FileID
+	// Meta is the signed metadata record describing the file.
+	Meta *metadata.Metadata
+	// Popularity is the probability each node wants the file. The
+	// central server knows it (the paper computes popularity there) and
+	// the protocols use it to order transmissions.
+	Popularity float64
+	// Day is the publication day.
+	Day int
+}
+
+// QueryFor returns the query string a node interested in the file
+// generates. The file name carries a unique token (e.g. "f17"), so the
+// query matches exactly the intended file — mirroring the paper's model
+// where each query targets one new file.
+func QueryFor(f *File) string { return fmt.Sprintf("f%d", f.ID) }
+
+// Config parameterizes the workload.
+type Config struct {
+	// NewFilesPerDay is n, the daily publication count.
+	NewFilesPerDay int
+	// TTL is each file's time-to-live.
+	TTL simtime.Duration
+	// Days is the number of days files are published for.
+	Days int
+	// PieceSize is the piece length in bytes.
+	PieceSize int
+	// PiecesPerFile is the file length in pieces.
+	PiecesPerFile int
+	// Nodes is the node population deciding interest.
+	Nodes int
+	// ZipfAlpha switches popularity sampling from the paper's truncated
+	// exponential to a Zipf law over each day's publication rank with
+	// this exponent (0 keeps the paper's model). The day's first file is
+	// the head of the distribution.
+	ZipfAlpha float64
+	// ZipfMax is the head popularity under Zipf (default 0.5).
+	ZipfMax float64
+	// Seed makes the workload reproducible.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's defaults at simulation scale. The
+// piece size is reduced from the paper's 256 KB so examples can hash real
+// content quickly; the protocols only count pieces.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		NewFilesPerDay: 50,
+		TTL:            simtime.Days(3),
+		Days:           14,
+		PieceSize:      4 * 1024,
+		PiecesPerFile:  4,
+		Nodes:          nodes,
+		Seed:           1,
+	}
+}
+
+// ErrConfig reports an invalid workload configuration.
+var ErrConfig = errors.New("workload: invalid config")
+
+func (c Config) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"NewFilesPerDay", c.NewFilesPerDay},
+		{"Days", c.Days},
+		{"PieceSize", c.PieceSize},
+		{"PiecesPerFile", c.PiecesPerFile},
+		{"Nodes", c.Nodes},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("%s = %d must be positive: %w", f.name, f.v, ErrConfig)
+		}
+	}
+	if c.TTL <= 0 {
+		return fmt.Errorf("TTL = %v must be positive: %w", c.TTL, ErrConfig)
+	}
+	if c.ZipfAlpha < 0 {
+		return fmt.Errorf("ZipfAlpha = %v must be non-negative: %w", c.ZipfAlpha, ErrConfig)
+	}
+	if c.ZipfMax < 0 || c.ZipfMax > 1 {
+		return fmt.Errorf("ZipfMax = %v not in [0,1]: %w", c.ZipfMax, ErrConfig)
+	}
+	return nil
+}
+
+// Lambda returns the popularity distribution's rate parameter, n/2.
+func (c Config) Lambda() float64 { return float64(c.NewFilesPerDay) / 2 }
+
+// Publisher names cycled through published files.
+var publishers = []string{"FOX", "ABC", "NBC", "CBS", "BBC"}
+
+// signingKey is the shared demo key publishers sign synthetic metadata
+// with; examples verifying authentication use KeyFor.
+func signingKey(publisher string) []byte {
+	return []byte("workload-key:" + publisher)
+}
+
+// KeyFor exposes the signing key of a publisher so consumers can verify
+// metadata authenticity.
+func KeyFor(publisher string) []byte { return signingKey(publisher) }
+
+// Generator produces the daily files and interest decisions. Construct
+// with NewGenerator; methods are deterministic in (Config, inputs).
+type Generator struct {
+	cfg   Config
+	files []*File // all files for all days, in publication order
+}
+
+// NewGenerator precomputes the full catalog for cfg.Days days.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg}
+	r := rng.New(cfg.Seed)
+	lambda := cfg.Lambda()
+	size := int64(cfg.PieceSize) * int64(cfg.PiecesPerFile)
+	id := metadata.FileID(0)
+	for day := 0; day < cfg.Days; day++ {
+		created := simtime.At(day, simtime.FileGenerationOffset)
+		for i := 0; i < cfg.NewFilesPerDay; i++ {
+			publisher := publishers[int(id)%len(publishers)]
+			name := fmt.Sprintf("f%d show-%d episode %d", id, int(id)%7, i)
+			desc := fmt.Sprintf("Daily release %d on day %d from %s", i, day, publisher)
+			meta := metadata.NewSynthetic(id, name, publisher, desc, size,
+				cfg.PieceSize, created, cfg.TTL, signingKey(publisher))
+			pop := r.Popularity(lambda)
+			if cfg.ZipfAlpha > 0 {
+				max := cfg.ZipfMax
+				if max == 0 {
+					max = 0.5
+				}
+				pop = rng.ZipfPopularity(i, cfg.ZipfAlpha, max)
+			}
+			g.files = append(g.files, &File{
+				ID:         id,
+				Meta:       meta,
+				Popularity: pop,
+				Day:        day,
+			})
+			id++
+		}
+	}
+	return g, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Files returns the complete catalog in publication order. The slice is
+// shared; callers must not mutate it.
+func (g *Generator) Files() []*File { return g.files }
+
+// FilesForDay returns the files published on the given day.
+func (g *Generator) FilesForDay(day int) []*File {
+	if day < 0 || day >= g.cfg.Days {
+		return nil
+	}
+	start := day * g.cfg.NewFilesPerDay
+	return g.files[start : start+g.cfg.NewFilesPerDay]
+}
+
+// File returns the file with the given ID, or nil if unknown.
+func (g *Generator) File(id metadata.FileID) *File {
+	if id < 0 || int(id) >= len(g.files) {
+		return nil
+	}
+	return g.files[id]
+}
+
+// ByURI returns the file with the given URI, or nil if unknown.
+func (g *Generator) ByURI(uri metadata.URI) *File {
+	for _, f := range g.files {
+		if f.Meta.URI == uri {
+			return f
+		}
+	}
+	return nil
+}
+
+// Interested reports whether node wants the file: an independent
+// Bernoulli(popularity) draw, deterministic per (seed, node, file).
+func (g *Generator) Interested(node int, f *File) bool {
+	h := g.cfg.Seed
+	h ^= uint64(node)*0x9e3779b97f4a7c15 + 0x1234
+	h ^= uint64(f.ID) * 0xbf58476d1ce4e5b9
+	return rng.New(h).Float64() < f.Popularity
+}
+
+// QueriesForNode returns the queries node generates on day, one per new
+// file it is interested in.
+func (g *Generator) QueriesForNode(node, day int) []string {
+	var out []string
+	for _, f := range g.FilesForDay(day) {
+		if g.Interested(node, f) {
+			out = append(out, QueryFor(f))
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(20)
+	cfg.Days = 3
+	cfg.NewFilesPerDay = 10
+	return cfg
+}
+
+func TestGeneratorCatalog(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Files()); got != 30 {
+		t.Fatalf("catalog size = %d, want 30", got)
+	}
+	for i, f := range g.Files() {
+		if int(f.ID) != i {
+			t.Fatalf("file %d has ID %d", i, f.ID)
+		}
+		if f.Popularity < 0 || f.Popularity > 1 {
+			t.Fatalf("file %d popularity %v out of range", i, f.Popularity)
+		}
+		if err := f.Meta.Validate(); err != nil {
+			t.Fatalf("file %d metadata invalid: %v", i, err)
+		}
+		if f.Day != i/10 {
+			t.Fatalf("file %d day = %d, want %d", i, f.Day, i/10)
+		}
+	}
+}
+
+func TestFilesPublishedAt2PM(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.Files() {
+		if f.Meta.Created.DayOffset() != simtime.FileGenerationOffset {
+			t.Fatalf("file %d created at %v, want 14:00", f.ID, f.Meta.Created)
+		}
+		if f.Meta.Created.Day() != f.Day {
+			t.Fatalf("file %d created on day %d, want %d", f.ID, f.Meta.Created.Day(), f.Day)
+		}
+	}
+}
+
+func TestTTLApplied(t *testing.T) {
+	cfg := testConfig()
+	cfg.TTL = simtime.Days(2)
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Files()[0]
+	if got := f.Meta.Expires.Sub(f.Meta.Created); got != simtime.Days(2) {
+		t.Fatalf("TTL = %v, want 2 days", got)
+	}
+}
+
+func TestFilesForDay(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1 := g.FilesForDay(1)
+	if len(day1) != 10 {
+		t.Fatalf("day 1 files = %d, want 10", len(day1))
+	}
+	for _, f := range day1 {
+		if f.Day != 1 {
+			t.Fatalf("file %d in day-1 slice has Day %d", f.ID, f.Day)
+		}
+	}
+	if g.FilesForDay(-1) != nil || g.FilesForDay(3) != nil {
+		t.Fatal("out-of-range day returned files")
+	}
+}
+
+func TestFileAndByURI(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.File(5)
+	if f == nil || f.ID != 5 {
+		t.Fatalf("File(5) = %+v", f)
+	}
+	if g.File(-1) != nil || g.File(9999) != nil {
+		t.Fatal("out-of-range ID returned a file")
+	}
+	if got := g.ByURI(f.Meta.URI); got != f {
+		t.Fatalf("ByURI = %+v", got)
+	}
+	if g.ByURI("dtn://files/404404") != nil {
+		t.Fatal("unknown URI returned a file")
+	}
+}
+
+func TestQueryMatchesExactlyItsFile(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.Files() {
+		q := QueryFor(f)
+		if !f.Meta.MatchesQuery(q) {
+			t.Fatalf("file %d does not match its own query %q", f.ID, q)
+		}
+		matches := 0
+		for _, other := range g.Files() {
+			if other.Meta.MatchesQuery(q) {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Fatalf("query %q matches %d files, want 1", q, matches)
+		}
+	}
+}
+
+func TestInterestedDeterministic(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Files()[0]
+	a := g.Interested(3, f)
+	for i := 0; i < 10; i++ {
+		if g.Interested(3, f) != a {
+			t.Fatal("Interested not deterministic")
+		}
+	}
+}
+
+func TestInterestedTracksPopularity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 2000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.Files()[:5] {
+		hits := 0
+		for node := 0; node < cfg.Nodes; node++ {
+			if g.Interested(node, f) {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(cfg.Nodes)
+		if math.Abs(got-f.Popularity) > 0.05 {
+			t.Fatalf("file %d: interest rate %v vs popularity %v", f.ID, got, f.Popularity)
+		}
+	}
+}
+
+func TestMeanQueriesPerNodePerDayApprox2(t *testing.T) {
+	// The paper chooses lambda = n/2 so that nodes average ~2 queries/day.
+	cfg := DefaultConfig(300)
+	cfg.Days = 2
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for node := 0; node < cfg.Nodes; node++ {
+		for day := 0; day < cfg.Days; day++ {
+			total += len(g.QueriesForNode(node, day))
+		}
+	}
+	perNodeDay := float64(total) / float64(cfg.Nodes*cfg.Days)
+	if perNodeDay < 1.4 || perNodeDay > 2.6 {
+		t.Fatalf("queries per node-day = %v, want ~2", perNodeDay)
+	}
+}
+
+func TestMetadataSigned(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Files()[0]
+	if !f.Meta.Verify(KeyFor(f.Meta.Publisher)) {
+		t.Fatal("published metadata fails verification under publisher key")
+	}
+	if f.Meta.Verify(KeyFor("EVIL")) {
+		t.Fatal("metadata verifies under wrong publisher key")
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, f := range g.Files() {
+		if seen[f.Meta.Name] {
+			t.Fatalf("duplicate file name %q", f.Meta.Name)
+		}
+		seen[f.Meta.Name] = true
+		if !strings.HasPrefix(f.Meta.Name, "f") {
+			t.Fatalf("name %q missing unique token prefix", f.Meta.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"files per day", func(c *Config) { c.NewFilesPerDay = 0 }},
+		{"days", func(c *Config) { c.Days = 0 }},
+		{"piece size", func(c *Config) { c.PieceSize = 0 }},
+		{"pieces per file", func(c *Config) { c.PiecesPerFile = 0 }},
+		{"nodes", func(c *Config) { c.Nodes = 0 }},
+		{"ttl", func(c *Config) { c.TTL = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if _, err := NewGenerator(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestLambda(t *testing.T) {
+	cfg := testConfig()
+	if got := cfg.Lambda(); got != 5 {
+		t.Fatalf("Lambda = %v, want 5 for 10 files/day", got)
+	}
+}
+
+func TestDeterministicAcrossGenerators(t *testing.T) {
+	a, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Files() {
+		fa, fb := a.Files()[i], b.Files()[i]
+		if fa.Popularity != fb.Popularity || fa.Meta.Name != fb.Meta.Name {
+			t.Fatalf("file %d differs across identical generators", i)
+		}
+	}
+}
+
+func TestPieceVerificationEndToEnd(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Files()[0]
+	for i := 0; i < f.Meta.NumPieces(); i++ {
+		data := metadata.SyntheticPiece(f.Meta.URI, i, f.Meta.PieceLen(i))
+		if !f.Meta.VerifyPiece(i, data) {
+			t.Fatalf("piece %d fails verification", i)
+		}
+	}
+}
+
+func TestZipfWorkload(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZipfAlpha = 1
+	cfg.ZipfMax = 0.5
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := g.FilesForDay(0)
+	if day[0].Popularity != 0.5 {
+		t.Fatalf("head popularity = %v, want 0.5", day[0].Popularity)
+	}
+	for i := 1; i < len(day); i++ {
+		if day[i].Popularity >= day[i-1].Popularity {
+			t.Fatalf("popularity not decaying at rank %d", i)
+		}
+	}
+}
+
+func TestZipfDefaultsMax(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZipfAlpha = 1
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FilesForDay(0)[0].Popularity != 0.5 {
+		t.Fatal("ZipfMax default not applied")
+	}
+}
+
+func TestZipfConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZipfAlpha = -1
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	cfg = testConfig()
+	cfg.ZipfMax = 1.5
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Fatal("ZipfMax 1.5 accepted")
+	}
+}
