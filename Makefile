@@ -1,0 +1,28 @@
+# Repo verification targets. `make check` is the gate: vet + full tests
+# + the race detector over the concurrent sweep pool.
+
+GO ?= go
+
+.PHONY: check vet test race short bench fuzz
+
+check: vet test race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick loop: skips the full -small sweep tests.
+short:
+	$(GO) test -short ./...
+
+# The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s ./internal/experiment

@@ -11,6 +11,7 @@ package hybriddtn
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -110,6 +111,28 @@ func BenchmarkFig3eFilesPerContactNUS(b *testing.B) {
 
 func BenchmarkFig3fAttendanceNUS(b *testing.B) {
 	benchPanel(b, "fig3f", []float64{0.5, 0.75, 1.0})
+}
+
+// BenchmarkRunAll measures the run-level worker pool on a multi-seed
+// -small sweep of every panel: one worker (the serial baseline) vs one
+// per CPU. On a multi-core machine the wall-clock ratio is the pool's
+// speedup; the per-run seed derivation keeps both outputs byte-identical.
+func BenchmarkRunAll(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			opts := experiment.Options{Seed: 1, Seeds: 2, Small: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				series, err := experiment.RunAll(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(series) != len(experiment.Definitions()) {
+					b.Fatalf("panels = %d", len(series))
+				}
+			}
+		})
+	}
 }
 
 // §V capacity claim: broadcast per-node capacity grows with clique size

@@ -3,11 +3,21 @@
 // three protocols, printed as text tables and optionally written as CSV
 // files for plotting.
 //
+// Sweeps execute on a run-level worker pool: every (panel, x, variant,
+// seed) simulation is an independent job, and -workers sizes the pool
+// (default 0 = one worker per CPU; 1 forces sequential). Output is
+// byte-identical for any worker count — per-cell seeds derive from the
+// sweep seed and the cell's coordinates, never from scheduling order.
+//
 // Usage:
 //
-//	experiments                  # run all panels at full scale
+//	experiments                  # run all panels at full scale, one worker per CPU
 //	experiments -only fig3a      # one panel
 //	experiments -small           # reduced scale (quick smoke run)
+//	experiments -seeds 5         # average 5 seeds per cell, with 95% CIs
+//	experiments -workers 4       # cap the pool at 4 concurrent simulations
+//	experiments -stats           # print run instrumentation (wall/sim time,
+//	                             # events fired, broadcasts) after the tables
 //	experiments -csv results/    # also write one CSV per panel
 package main
 
@@ -37,7 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		small   = fs.Bool("small", false, "reduced population and duration")
 		seed    = fs.Uint64("seed", 1, "sweep seed")
 		seeds   = fs.Int("seeds", 1, "average each point over this many seeds")
-		workers = fs.Int("workers", 1, "panels to run concurrently")
+		workers = fs.Int("workers", 0, "simulations to run concurrently (0 = one per CPU)")
+		stats   = fs.Bool("stats", false, "print per-run instrumentation after the tables")
 		csvDir  = fs.String("csv", "", "also write one CSV per panel into this directory")
 		svgDir  = fs.String("svg", "", "also render two SVG charts per panel into this directory")
 		replot  = fs.String("replot", "", "render SVGs from saved CSVs in this directory instead of simulating")
@@ -56,7 +67,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	var series []*experiment.Series
+	var (
+		series   []*experiment.Series
+		runStats *experiment.RunStats
+		runErr   error
+	)
 	start := time.Now()
 	if *replot != "" {
 		loaded, err := loadSeries(*replot, *only)
@@ -69,20 +84,22 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		s, err := experiment.Run(def, opts)
+		s, st, err := experiment.RunWithStats(def, opts)
 		if err != nil {
 			return err
 		}
-		series = []*experiment.Series{s}
+		series, runStats = []*experiment.Series{s}, st
 	} else {
-		all, err := experiment.RunAll(opts)
-		if err != nil {
-			return err
-		}
-		series = all
+		// RunAll joins per-cell errors and still returns the panels that
+		// completed; print those before reporting the failure.
+		all, st, err := experiment.RunAllWithStats(opts)
+		series, runStats, runErr = all, st, err
 	}
 
 	for _, s := range series {
+		if s == nil {
+			continue // the panel failed; runErr carries the details
+		}
 		fmt.Fprint(stdout, s.Table())
 		fmt.Fprintln(stdout)
 		if *csvDir != "" {
@@ -106,8 +123,17 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "(%d panels in %v)\n", len(series), time.Since(start).Round(time.Millisecond))
-	return nil
+	done := 0
+	for _, s := range series {
+		if s != nil {
+			done++
+		}
+	}
+	fmt.Fprintf(stdout, "(%d panels in %v)\n", done, time.Since(start).Round(time.Millisecond))
+	if *stats && runStats != nil {
+		fmt.Fprintln(stdout, "stats:", runStats)
+	}
+	return runErr
 }
 
 // loadSeries parses saved per-panel CSVs from dir; only filters to one id.

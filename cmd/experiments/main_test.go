@@ -35,6 +35,29 @@ func TestCSVOutput(t *testing.T) {
 	}
 }
 
+func TestStatsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig3a", "-small", "-workers", "4", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"stats:", "runs", "4 workers", "events"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStatsFlagOffByDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig3a", "-small"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "stats:") {
+		t.Fatalf("stats printed without -stats:\n%s", out.String())
+	}
+}
+
 func TestUnknownPanel(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-only", "fig9z"}, &out); err == nil {

@@ -128,6 +128,10 @@ type (
 	// ExperimentSeries is a reproduced panel: points by x, ratios by
 	// protocol.
 	ExperimentSeries = experiment.Series
+	// ExperimentStats aggregates per-run instrumentation over a sweep:
+	// runs, failures, wall and summed simulation time, events fired,
+	// and broadcast totals.
+	ExperimentStats = experiment.RunStats
 )
 
 // Experiments returns all figure panels in paper order.
@@ -136,7 +140,15 @@ func Experiments() []Experiment { return experiment.Definitions() }
 // LookupExperiment finds a panel by id (e.g. "fig3a").
 func LookupExperiment(id string) (Experiment, error) { return experiment.Lookup(id) }
 
-// RunExperiment executes one panel sweep.
+// RunExperiment executes one panel sweep on the run-level worker pool.
 func RunExperiment(def Experiment, opts ExperimentOptions) (*ExperimentSeries, error) {
 	return experiment.Run(def, opts)
+}
+
+// RunExperiments executes every panel's (x × variant × seed) grid on one
+// shared run-level worker pool and returns the series in paper order,
+// the sweep's instrumentation, and any per-cell errors joined together
+// (completed panels are still returned alongside the error).
+func RunExperiments(opts ExperimentOptions) ([]*ExperimentSeries, *ExperimentStats, error) {
+	return experiment.RunAllWithStats(opts)
 }

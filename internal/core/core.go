@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/choke"
 	"repro/internal/discovery"
@@ -125,6 +126,7 @@ func (s *Sim) Collector() *metrics.Collector { return s.collector }
 // Run executes the full simulation and returns its result. A Sim must
 // only be run once.
 func (s *Sim) Run() (*Result, error) {
+	start := time.Now()
 	// Schedule daily publications.
 	for day := 0; day < s.cfg.Workload.Days; day++ {
 		day := day
@@ -149,6 +151,8 @@ func (s *Sim) Run() (*Result, error) {
 		}
 	}
 	c := s.collector
+	traffic := c.Traffic()
+	engine := s.engine.Stats()
 	return &Result{
 		Variant:            s.cfg.Variant,
 		Queries:            c.Queries(),
@@ -158,10 +162,12 @@ func (s *Sim) Run() (*Result, error) {
 		FileRatio:          c.FileRatio(),
 		MeanMetadataDelay:  c.MeanMetadataDelay(),
 		MeanFileDelay:      c.MeanFileDelay(),
-		MetadataBroadcasts: c.MetadataBroadcasts,
-		PieceBroadcasts:    c.PieceBroadcasts,
+		MetadataBroadcasts: traffic.MetadataBroadcasts,
+		PieceBroadcasts:    traffic.PieceBroadcasts,
 		InternetNodes:      internetCount,
 		Sessions:           len(s.cfg.Trace.Sessions),
+		Events:             engine.Fired,
+		Wall:               time.Since(start),
 	}, nil
 }
 

@@ -78,6 +78,12 @@ func TestRunAllVariantsNUS(t *testing.T) {
 			if res.Variant != v {
 				t.Fatalf("result variant %v, want %v", res.Variant, v)
 			}
+			if res.Events <= 0 {
+				t.Fatalf("events = %d, want positive (instrumentation not threaded)", res.Events)
+			}
+			if res.Wall <= 0 {
+				t.Fatalf("wall = %v, want positive", res.Wall)
+			}
 		})
 	}
 }
@@ -103,6 +109,8 @@ func TestRunAllVariantsDiesel(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := run(t, smallNUS(t))
 	b := run(t, smallNUS(t))
+	// Wall clock is the one legitimately nondeterministic field.
+	a.Wall, b.Wall = 0, 0
 	if *a != *b {
 		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
 	}
@@ -387,6 +395,8 @@ func TestLossyRunDeterministic(t *testing.T) {
 	cfg.BroadcastLossRate = 0.3
 	a := run(t, cfg)
 	b := run(t, cfg)
+	// Wall clock is the one legitimately nondeterministic field.
+	a.Wall, b.Wall = 0, 0
 	if *a != *b {
 		t.Fatalf("lossy runs diverged:\n%+v\n%+v", a, b)
 	}
@@ -568,6 +578,8 @@ func TestNodeFailureDeterministic(t *testing.T) {
 	cfg.NodeFailureRate = 0.5
 	a := run(t, cfg)
 	b := run(t, cfg)
+	// Wall clock is the one legitimately nondeterministic field.
+	a.Wall, b.Wall = 0, 0
 	if *a != *b {
 		t.Fatalf("churned runs diverged:\n%+v\n%+v", a, b)
 	}

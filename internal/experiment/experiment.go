@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/simtime"
-	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -40,27 +39,31 @@ func (k TraceKind) String() string {
 
 // Options tune a sweep run.
 type Options struct {
-	// Seed drives trace generation, workload and role assignment.
+	// Seed is the sweep seed: every cell's simulation seed is derived
+	// from it together with the cell's coordinates (panel id, x index,
+	// seed index), so results never depend on scheduling order.
 	Seed uint64
-	// Seeds averages every cell over this many consecutive seeds
-	// starting at Seed (0 or 1 = single run).
+	// Seeds averages every cell over this many seed indices (0 or 1 =
+	// single run); multi-seed sweeps also report 95% confidence
+	// intervals.
 	Seeds int
 	// Small shrinks population and duration for tests and benchmarks.
 	Small bool
-	// Workers bounds the number of panel runs executing concurrently in
-	// RunAll (0 = sequential).
+	// Workers sizes the shared run-level worker pool: every
+	// (panel, x, variant, seed) simulation is an independent job.
+	// 0 (or negative) means one worker per CPU; 1 forces sequential.
 	Workers int
 }
 
-// seedList expands Options into the seeds to average over.
-func (o Options) seedList() []uint64 {
+// seedList expands Options into the seed indices to average over.
+func (o Options) seedList() []int {
 	n := o.Seeds
 	if n < 1 {
 		n = 1
 	}
-	seeds := make([]uint64, n)
+	seeds := make([]int, n)
 	for i := range seeds {
-		seeds[i] = o.Seed + uint64(i)
+		seeds[i] = i
 	}
 	return seeds
 }
@@ -173,11 +176,11 @@ func Lookup(id string) (Definition, error) {
 	return Definition{}, fmt.Errorf("experiment: unknown definition %q", id)
 }
 
-// baseTraceConfigs returns the generator configs for the options.
-func baseTraceConfigs(opts Options) (tracegen.NUSConfig, tracegen.DieselConfig) {
+// baseTraceConfigs returns the generator configs for a cell seed.
+func baseTraceConfigs(opts Options, seed uint64) (tracegen.NUSConfig, tracegen.DieselConfig) {
 	nus := tracegen.DefaultNUS()
 	diesel := tracegen.DefaultDiesel()
-	nus.Seed, diesel.Seed = opts.Seed, opts.Seed
+	nus.Seed, diesel.Seed = seed, seed
 	if opts.Small {
 		nus.Students, nus.Classes, nus.Days = 60, 12, 7
 		diesel.Buses, diesel.Routes, diesel.Days = 20, 4, 7
@@ -211,108 +214,37 @@ func frequencyFor(kind TraceKind) float64 {
 	return 1.0 / 3
 }
 
-// Run executes one panel: for every x and every protocol variant, build
-// the trace and config, run the simulation (averaged over opts.Seeds
-// seeds), and record the ratios.
+// Run executes one panel on the run-level worker pool: every
+// (x, variant, seed) simulation of the sweep is an independent job
+// (averaged over opts.Seeds seed indices).
 func Run(def Definition, opts Options) (*Series, error) {
-	s := &Series{
-		ID:     def.ID,
-		Title:  def.Title,
-		XLabel: def.XLabel,
-		Trace:  def.Trace,
-	}
-	seeds := opts.seedList()
-	for _, x := range def.Xs {
-		point := Point{X: x, Cells: make(map[core.Variant]Cell, 3)}
-		metaSamples := make(map[core.Variant][]float64, 3)
-		fileSamples := make(map[core.Variant][]float64, 3)
-		for _, seed := range seeds {
-			seedOpts := opts
-			seedOpts.Seed = seed
-			nus, diesel := baseTraceConfigs(seedOpts)
-
-			// Apply may adjust the trace configs (e.g. attendance); run
-			// it once against a throwaway config, then build the trace.
-			var probe core.Config
-			def.Apply(x, &probe, &nus, &diesel)
-
-			tr, err := buildTrace(def.Trace, nus, diesel)
-			if err != nil {
-				return nil, fmt.Errorf("%s at x=%v: %w", def.ID, x, err)
-			}
-			for _, v := range core.Variants() {
-				cfg := core.DefaultConfig(tr)
-				cfg.Seed = seed
-				cfg.Workload.Seed = seed
-				cfg.Variant = v
-				cfg.FrequentContactsPerDay = frequencyFor(def.Trace)
-				if opts.Small {
-					cfg.Workload.NewFilesPerDay = 20
-				}
-				def.Apply(x, &cfg, &nus, &diesel)
-				res, err := core.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s at x=%v %s: %w", def.ID, x, v, err)
-				}
-				metaSamples[v] = append(metaSamples[v], res.MetadataRatio)
-				fileSamples[v] = append(fileSamples[v], res.FileRatio)
-			}
-		}
-		for _, v := range core.Variants() {
-			meta := stats.Summarize(metaSamples[v])
-			file := stats.Summarize(fileSamples[v])
-			point.Cells[v] = Cell{MetadataRatio: meta.Mean, FileRatio: file.Mean}
-			if len(seeds) > 1 {
-				if point.CI == nil {
-					point.CI = make(map[core.Variant]Cell, 3)
-				}
-				point.CI[v] = Cell{MetadataRatio: meta.CI95(), FileRatio: file.CI95()}
-			}
-		}
-		s.Points = append(s.Points, point)
-	}
-	return s, nil
+	s, _, err := RunWithStats(def, opts)
+	return s, err
 }
 
-// RunAll executes every panel, optionally in parallel (opts.Workers).
-// Results come back in Definitions() order regardless of scheduling.
+// RunWithStats is Run plus the sweep's aggregated instrumentation.
+func RunWithStats(def Definition, opts Options) (*Series, *RunStats, error) {
+	out, st, err := RunSweep([]Definition{def}, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return out[0], st, nil
+}
+
+// RunAll executes every panel's full (x × variant × seed) grid on one
+// shared run-level worker pool (opts.Workers jobs at a time, default one
+// per CPU). Results come back in Definitions() order with byte-identical
+// content regardless of worker count or scheduling. Cell errors are
+// collected with errors.Join; panels that completed are still returned
+// (failed panels are nil) alongside the error.
 func RunAll(opts Options) ([]*Series, error) {
-	defs := Definitions()
-	out := make([]*Series, len(defs))
-	errs := make([]error, len(defs))
+	out, _, err := RunAllWithStats(opts)
+	return out, err
+}
 
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(defs) {
-		workers = len(defs)
-	}
-
-	jobs := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer func() { done <- struct{}{} }()
-			for i := range jobs {
-				out[i], errs[i] = Run(defs[i], opts)
-			}
-		}()
-	}
-	for i := range defs {
-		jobs <- i
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// RunAllWithStats is RunAll plus the sweep's aggregated instrumentation.
+func RunAllWithStats(opts Options) ([]*Series, *RunStats, error) {
+	return RunSweep(Definitions(), opts)
 }
 
 // Table renders the series as an aligned text table: one row per x with

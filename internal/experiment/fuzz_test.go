@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV feeds ParseCSV arbitrary input — it must reject or accept
+// without panicking — and checks the render/parse round trip: any CSV it
+// accepts must re-render (Series.CSV) and re-parse to a fixed point.
+func FuzzParseCSV(f *testing.F) {
+	// Seed the corpus with a real panel CSV from an actual sweep, plus
+	// hand-picked edge shapes.
+	def, err := Lookup("fig2a")
+	if err != nil {
+		f.Fatal(err)
+	}
+	def.Xs = def.Xs[:2]
+	s, err := Run(def, Options{Seed: 1, Small: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(s.CSV())
+	header := "x,MBT_meta,MBT_file,MBT-Q_meta,MBT-Q_file,MBT-QM_meta,MBT-QM_file\n"
+	f.Add(header)
+	f.Add(header + "1,0.5,0.4,0.3,0.2,0.1,0.1\n")
+	f.Add(header + "0.5,NaN,+Inf,-Inf,1e300,-0,0.1\n")
+	f.Add(header + " 1 ,\t0.5,0.4,0.3,0.2,0.1,0.1\r\n")
+	f.Add("")
+	f.Add("x\n1\n")
+	f.Add(strings.Repeat(",", 6) + "\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := ParseCSV("fig3a", data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		out := parsed.CSV()
+		again, err := ParseCSV("fig3a", out)
+		if err != nil {
+			t.Fatalf("re-parse of rendered CSV failed: %v\ninput: %q\nrendered:\n%s", err, data, out)
+		}
+		if got := again.CSV(); got != out {
+			t.Fatalf("render/parse not a fixed point:\nfirst:\n%s\nsecond:\n%s", out, got)
+		}
+		if len(again.Points) != len(parsed.Points) {
+			t.Fatalf("round trip changed point count: %d vs %d",
+				len(again.Points), len(parsed.Points))
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RunStats aggregates per-run instrumentation over one sweep invocation:
+// how much work the pool did and how well it parallelized. Wall-clock
+// numbers vary run to run; everything else is deterministic for a fixed
+// sweep and seed.
+type RunStats struct {
+	// Runs is the number of simulations executed (including failures).
+	Runs int
+	// Failed is the number of simulations that returned an error.
+	Failed int
+	// Workers is the pool size the sweep actually used.
+	Workers int
+	// Wall is the wall-clock duration of the whole sweep.
+	Wall time.Duration
+	// SimWall sums the per-run wall times across all cells — the serial
+	// cost of the sweep; SimWall/Wall estimates the achieved speedup.
+	SimWall time.Duration
+	// Events is the total number of discrete events fired.
+	Events int
+	// MetadataBroadcasts and PieceBroadcasts sum the DTN transmissions
+	// across all runs.
+	MetadataBroadcasts int
+	PieceBroadcasts    int
+}
+
+// Speedup estimates the parallel speedup achieved: total simulation time
+// over sweep wall time (0 if the sweep did not run).
+func (st RunStats) Speedup() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.SimWall) / float64(st.Wall)
+}
+
+// String renders a one-line summary for the experiments CLI.
+func (st RunStats) String() string {
+	return fmt.Sprintf(
+		"%d runs (%d failed) on %d workers: wall %v, sim %v (%.1fx), %d events, %d metadata + %d piece broadcasts",
+		st.Runs, st.Failed, st.Workers,
+		st.Wall.Round(time.Millisecond), st.SimWall.Round(time.Millisecond), st.Speedup(),
+		st.Events, st.MetadataBroadcasts, st.PieceBroadcasts)
+}
+
+// cellSeed derives the simulation seed for one sweep cell from its
+// coordinates — the sweep seed, the panel id, the x index, and the seed
+// index — never from iteration order, so results are identical for any
+// worker count and scheduling. The protocol variant is deliberately
+// excluded: the paper's figures compare MBT, MBT-Q and MBT-QM on
+// identical scenarios (trace, node roles, workload), so the three
+// variants of a cell group must draw the same seed.
+func cellSeed(sweep uint64, panelID string, xIdx, seedIdx int) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	word(sweep)
+	for i := 0; i < len(panelID); i++ {
+		h = (h ^ uint64(panelID[i])) * prime64
+	}
+	word(uint64(xIdx))
+	word(uint64(seedIdx))
+	// SplitMix64 finalizer: FNV output is well distributed in the low
+	// bits but the simulation seeds several generators from one value,
+	// so run it through a full-avalanche mixer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// workerCount resolves Options.Workers (<= 0 means one per CPU) and caps
+// it at the job count.
+func workerCount(opts Options, jobs int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// traceShare lazily builds the trace for one (panel, x, seed) cell
+// group. The three variant cells of the group share one generation: the
+// first worker to reach the group builds, the rest reuse. Generation is
+// a pure function of the group's coordinates, so which worker builds is
+// irrelevant to the result.
+type traceShare struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// cell identifies one simulation of a sweep: one (panel, x, variant,
+// seed) coordinate of the evaluation grid.
+type cell struct {
+	def                               *Definition
+	defIdx, xIdx, variantIdx, seedIdx int
+	variant                           core.Variant
+	share                             *traceShare
+}
+
+// cellResult holds one simulation's measurements and instrumentation.
+type cellResult struct {
+	meta, file  float64
+	events      int
+	metaBcasts  int
+	pieceBcasts int
+	wall        time.Duration
+	err         error
+}
+
+// runCell executes one cell: build (or reuse) the trace, assemble the
+// config, run the simulation.
+func runCell(c cell, opts Options) cellResult {
+	start := time.Now()
+	seed := cellSeed(opts.Seed, c.def.ID, c.xIdx, c.seedIdx)
+	x := c.def.Xs[c.xIdx]
+
+	c.share.once.Do(func() {
+		nus, diesel := baseTraceConfigs(opts, seed)
+		// Apply may adjust the trace configs (e.g. attendance); run it
+		// once against a throwaway config, then build the trace.
+		var probe core.Config
+		c.def.Apply(x, &probe, &nus, &diesel)
+		c.share.tr, c.share.err = buildTrace(c.def.Trace, nus, diesel)
+	})
+	if c.share.err != nil {
+		return cellResult{
+			wall: time.Since(start),
+			err:  fmt.Errorf("%s at x=%v %s: %w", c.def.ID, x, c.variant, c.share.err),
+		}
+	}
+
+	cfg := core.DefaultConfig(c.share.tr)
+	cfg.Seed = seed
+	cfg.Workload.Seed = seed
+	cfg.Variant = c.variant
+	cfg.FrequentContactsPerDay = frequencyFor(c.def.Trace)
+	if opts.Small {
+		cfg.Workload.NewFilesPerDay = 20
+	}
+	// Apply against private trace configs: the cfg side of Apply must run
+	// per cell, and the trace side must not race with other cells.
+	nus, diesel := baseTraceConfigs(opts, seed)
+	c.def.Apply(x, &cfg, &nus, &diesel)
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return cellResult{
+			wall: time.Since(start),
+			err:  fmt.Errorf("%s at x=%v %s: %w", c.def.ID, x, c.variant, err),
+		}
+	}
+	return cellResult{
+		meta:        res.MetadataRatio,
+		file:        res.FileRatio,
+		events:      res.Events,
+		metaBcasts:  res.MetadataBroadcasts,
+		pieceBcasts: res.PieceBroadcasts,
+		wall:        time.Since(start),
+	}
+}
+
+// RunSweep executes the definitions' full (panel × x × variant × seed)
+// grid as independent jobs on one shared worker pool and assembles the
+// per-panel series deterministically: every cell's seed derives from its
+// coordinates, samples aggregate in seed order, and panels come back in
+// definition order, so output is byte-identical for any Workers value.
+//
+// Cell errors are collected with errors.Join rather than aborting the
+// sweep; panels whose cells all succeeded are returned (in order, failed
+// panels nil) alongside the joined error.
+func RunSweep(defs []Definition, opts Options) ([]*Series, *RunStats, error) {
+	start := time.Now()
+	seeds := opts.seedList()
+	variants := core.Variants()
+
+	// Enumerate every cell of the grid, grouping the variant cells of
+	// each (panel, x, seed) coordinate around one shared trace build.
+	var cells []cell
+	results := make([][][][]cellResult, len(defs)) // [def][x][seed][variant]
+	for di := range defs {
+		def := &defs[di]
+		results[di] = make([][][]cellResult, len(def.Xs))
+		for xi := range def.Xs {
+			results[di][xi] = make([][]cellResult, len(seeds))
+			for si := range seeds {
+				results[di][xi][si] = make([]cellResult, len(variants))
+				share := &traceShare{}
+				for vi, v := range variants {
+					cells = append(cells, cell{
+						def: def, defIdx: di, xIdx: xi,
+						variantIdx: vi, seedIdx: si,
+						variant: v, share: share,
+					})
+				}
+			}
+		}
+	}
+
+	workers := workerCount(opts, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cells[i]
+				results[c.defIdx][c.xIdx][c.seedIdx][c.variantIdx] = runCell(c, opts)
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble: aggregate instrumentation, join errors, average samples
+	// in seed-index order.
+	st := &RunStats{Workers: workers}
+	out := make([]*Series, len(defs))
+	var errs []error
+	for di := range defs {
+		def := &defs[di]
+		s := &Series{ID: def.ID, Title: def.Title, XLabel: def.XLabel, Trace: def.Trace}
+		ok := true
+		for xi, x := range def.Xs {
+			point := Point{X: x, Cells: make(map[core.Variant]Cell, len(variants))}
+			metaSamples := make(map[core.Variant][]float64, len(variants))
+			fileSamples := make(map[core.Variant][]float64, len(variants))
+			for si := range seeds {
+				for vi, v := range variants {
+					r := results[di][xi][si][vi]
+					st.Runs++
+					st.SimWall += r.wall
+					if r.err != nil {
+						st.Failed++
+						errs = append(errs, r.err)
+						ok = false
+						continue
+					}
+					st.Events += r.events
+					st.MetadataBroadcasts += r.metaBcasts
+					st.PieceBroadcasts += r.pieceBcasts
+					metaSamples[v] = append(metaSamples[v], r.meta)
+					fileSamples[v] = append(fileSamples[v], r.file)
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, v := range variants {
+				meta := stats.Summarize(metaSamples[v])
+				file := stats.Summarize(fileSamples[v])
+				point.Cells[v] = Cell{MetadataRatio: meta.Mean, FileRatio: file.Mean}
+				if len(seeds) > 1 {
+					if point.CI == nil {
+						point.CI = make(map[core.Variant]Cell, len(variants))
+					}
+					point.CI[v] = Cell{MetadataRatio: meta.CI95(), FileRatio: file.CI95()}
+				}
+			}
+			s.Points = append(s.Points, point)
+		}
+		if ok {
+			out[di] = s
+		}
+	}
+	st.Wall = time.Since(start)
+	return out, st, errors.Join(errs...)
+}

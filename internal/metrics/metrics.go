@@ -40,6 +40,26 @@ func NewCollector() *Collector {
 	return &Collector{records: make(map[QueryKey]*Record)}
 }
 
+// Traffic is a snapshot of the broadcast and receipt counters, taken
+// with Collector.Traffic so instrumentation consumers get one coherent
+// value instead of reading four fields.
+type Traffic struct {
+	MetadataBroadcasts int
+	PieceBroadcasts    int
+	MetadataReceipts   int
+	PieceReceipts      int
+}
+
+// Traffic returns the traffic counters as one snapshot.
+func (c *Collector) Traffic() Traffic {
+	return Traffic{
+		MetadataBroadcasts: c.MetadataBroadcasts,
+		PieceBroadcasts:    c.PieceBroadcasts,
+		MetadataReceipts:   c.MetadataReceipts,
+		PieceReceipts:      c.PieceReceipts,
+	}
+}
+
 // QueryCreated registers a query by a measured (non-Internet) node.
 func (c *Collector) QueryCreated(node trace.NodeID, uri metadata.URI, at, expires simtime.Time) {
 	key := QueryKey{Node: node, URI: uri}

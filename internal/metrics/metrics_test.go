@@ -141,3 +141,18 @@ func TestDailySeriesEmpty(t *testing.T) {
 		t.Fatalf("empty series = %+v", got)
 	}
 }
+
+func TestTrafficSnapshot(t *testing.T) {
+	c := NewCollector()
+	if got := c.Traffic(); got != (Traffic{}) {
+		t.Fatalf("empty traffic = %+v", got)
+	}
+	c.MetadataBroadcasts = 3
+	c.PieceBroadcasts = 5
+	c.MetadataReceipts = 7
+	c.PieceReceipts = 11
+	want := Traffic{MetadataBroadcasts: 3, PieceBroadcasts: 5, MetadataReceipts: 7, PieceReceipts: 11}
+	if got := c.Traffic(); got != want {
+		t.Fatalf("traffic = %+v, want %+v", got, want)
+	}
+}

@@ -23,6 +23,22 @@ type Engine struct {
 	fired int
 }
 
+// Stats is a snapshot of engine progress, cheap to take at any instant
+// (instrumentation for the sweep harness and long-running tools).
+type Stats struct {
+	// Now is the current simulated time.
+	Now simtime.Time
+	// Fired is the number of events executed so far.
+	Fired int
+	// Pending is the number of scheduled, unfired events.
+	Pending int
+}
+
+// Stats returns a snapshot of the engine's progress counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Now: e.now, Fired: e.fired, Pending: e.queue.Len()}
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() simtime.Time { return e.now }
 

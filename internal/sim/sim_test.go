@@ -111,3 +111,25 @@ func TestStepOnEmpty(t *testing.T) {
 		t.Fatal("Step on empty engine returned true")
 	}
 }
+
+func TestStatsSnapshot(t *testing.T) {
+	var e Engine
+	if got := e.Stats(); got != (Stats{}) {
+		t.Fatalf("zero engine stats = %+v", got)
+	}
+	for _, tm := range []simtime.Time{5, 10, 15} {
+		if err := e.At(tm, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(10)
+	got := e.Stats()
+	want := Stats{Now: 10, Fired: 2, Pending: 1}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	e.Run()
+	if got := e.Stats(); got.Fired != 3 || got.Pending != 0 {
+		t.Fatalf("drained stats = %+v", got)
+	}
+}
