@@ -26,3 +26,5 @@ bench:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s ./internal/experiment
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 30s ./internal/wire

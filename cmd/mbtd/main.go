@@ -1,0 +1,132 @@
+// Command mbtd runs one live MBT node over TCP: it beacons hellos,
+// answers queries with metadata, and broadcasts verified file pieces to
+// downloading peers — the daemon form of the protocol the simulator
+// replays.
+//
+// A two-node localhost session: terminal one hosts the Internet-access
+// seed with a three-file catalog,
+//
+//	mbtd -id 1 -listen 127.0.0.1:7001 -internet -files 3 -http 127.0.0.1:8001
+//
+// and terminal two runs a mobile node that dials it, searches for file
+// f0, and downloads it:
+//
+//	mbtd -id 2 -listen 127.0.0.1:7002 -peers 127.0.0.1:7001 -query f0 -http 127.0.0.1:8002
+//
+// Watch `curl 127.0.0.1:8002/stats` until the download shows under
+// "completed". SIGINT/SIGTERM shut the daemon down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "mbtd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("mbtd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		id       = fs.Int("id", -1, "node ID (required, unique per daemon)")
+		listen   = fs.String("listen", "", "TCP listen address for peer links, e.g. 127.0.0.1:7001")
+		peers    = fs.String("peers", "", "comma-separated peer addresses to dial and keep dialed")
+		httpAddr = fs.String("http", "", "serve /healthz and /stats on this address (off when empty)")
+		internet = fs.Bool("internet", false, "Internet-access node: hosts the catalog, answers queries authoritatively")
+		files    = fs.Int("files", 0, "synthetic catalog files to publish at startup (with -internet)")
+		queries  = fs.String("query", "", "comma-separated query strings this node searches for")
+		fetch    = fs.Bool("fetch-matching", true, "download every file whose metadata matches a query")
+		hello    = fs.Duration("hello", time.Second, "hello beacon interval")
+		window   = fs.Duration("window", 5*time.Second, "peer liveness window (drop peers silent this long)")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 0 {
+		return fmt.Errorf("-id is required and must be >= 0")
+	}
+	if *listen == "" && *peers == "" {
+		return fmt.Errorf("need -listen and/or -peers; a daemon with neither has no links")
+	}
+
+	logger := log.New(logw, fmt.Sprintf("mbtd[%d] ", *id), log.LstdFlags|log.Lmsgprefix)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+
+	cfg := daemon.Config{
+		ID:             trace.NodeID(*id),
+		Transport:      &transport.TCP{},
+		ListenAddr:     *listen,
+		PeerAddrs:      splitList(*peers),
+		InternetAccess: *internet,
+		PublishFiles:   *files,
+		Queries:        splitList(*queries),
+		FetchMatching:  *fetch,
+		HelloInterval:  *hello,
+		LivenessWindow: *window,
+		Logf:           logf,
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: d.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("http: %v", err)
+			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		logger.Printf("stats at http://%s/stats", *httpAddr)
+	}
+
+	logger.Printf("node %d up: listen=%q peers=%v internet=%v files=%d queries=%v",
+		*id, *listen, cfg.PeerAddrs, *internet, *files, cfg.Queries)
+	err = d.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		logger.Printf("shut down")
+	}
+	return err
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-listen", "127.0.0.1:0"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-id") {
+		t.Fatalf("missing -id: %v", err)
+	}
+	if err := run(ctx, []string{"-id", "1"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-listen") {
+		t.Fatalf("missing links: %v", err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %v", got)
+	}
+}
+
+// freePort grabs an ephemeral port and releases it for the daemon to
+// rebind — the standard test trick, racy only against other processes.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// TestLocalhostDemo is the README demo as a test: two mbtd daemons on
+// localhost, a metadata query, and a full multi-piece download, watched
+// through the leecher's /stats endpoint.
+func TestLocalhostDemo(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	seedPeer, leechHTTP := freePort(t), freePort(t)
+	errs := make(chan error, 2)
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "1", "-listen", seedPeer, "-internet", "-files", "2",
+			"-hello", "20ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "2", "-peers", seedPeer, "-query", "f0",
+			"-http", leechHTTP, "-hello", "20ms", "-quiet",
+		}, io.Discard)
+	}()
+
+	statsURL := fmt.Sprintf("http://%s/stats", leechHTTP)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("demo download never completed")
+		}
+		select {
+		case err := <-errs:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		var stats struct {
+			Completed      map[string]bool `json:"completed"`
+			PiecesVerified uint64          `json:"pieces_verified"`
+		}
+		if resp, err := http.Get(statsURL); err == nil {
+			json.NewDecoder(resp.Body).Decode(&stats)
+			resp.Body.Close()
+			if stats.Completed["dtn://files/0"] && stats.PiecesVerified >= 3 {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Graceful shutdown: both daemons return the context error only.
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}

@@ -1,0 +1,647 @@
+// Package daemon assembles a live MBT node: a peer.Manager for
+// sessions, the per-node protocol state of internal/node, and — on
+// Internet-access nodes — the concurrency-safe catalog of
+// internal/server, all wired over a transport.Transport.
+//
+// The live message flow mirrors the simulator's phases, driven by the
+// hello beacon instead of the contact schedule:
+//
+//	hello(queries)      → peer answers with matching metadata records
+//	metadata(record)    → store; if it matches an own query, select the
+//	                      file, so the next hello advertises it
+//	hello(downloading)  → peer streams pieces of the advertised files
+//	piece(data)         → verify against the stored record's checksums,
+//	                      store; completion is reached piece by piece
+//
+// Ownership and locking: Daemon.mu guards the node state and per-peer
+// send tracking. Handler callbacks (session goroutines) take the lock
+// briefly, never send while holding it — outgoing messages go through a
+// bounded outbox drained by a dedicated goroutine, so a slow peer can
+// never deadlock two daemons sending to each other. Overflow drops the
+// message, which the protocol absorbs: every state exchange is
+// re-driven by the next hello.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hello"
+	"repro/internal/metadata"
+	"repro/internal/node"
+	"repro/internal/peer"
+	"repro/internal/server"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Defaults.
+const (
+	// DefaultPiecesPerHello caps piece broadcasts triggered by one
+	// hello, pacing downloads to the beacon rhythm like the
+	// simulator's per-contact piece budget.
+	DefaultPiecesPerHello = 16
+	// DefaultMetadataPerHello caps metadata answers per query per
+	// hello.
+	DefaultMetadataPerHello = 8
+	// DefaultTTL is the synthetic catalog's metadata time-to-live.
+	DefaultTTL = 3 * simtime.Day
+	// DefaultFileSize gives 3 pieces at the paper's 256 KB piece size.
+	DefaultFileSize = 600 * 1024
+	// outboxLen bounds queued outgoing messages; overflow drops.
+	outboxLen = 256
+)
+
+// Config assembles one daemon.
+type Config struct {
+	// ID is this node's identity.
+	ID trace.NodeID
+	// Transport carries all links.
+	Transport transport.Transport
+	// ListenAddr, when non-empty, accepts inbound sessions.
+	ListenAddr string
+	// PeerAddrs are outbound links maintained with backoff redial.
+	PeerAddrs []string
+	// InternetAccess gives this node the server catalog: it answers
+	// queries and serves pieces authoritatively.
+	InternetAccess bool
+	// InternetNodes is the catalog's popularity denominator (default 1).
+	InternetNodes int
+	// PublishFiles seeds the catalog with this many synthetic files at
+	// startup (Internet nodes only).
+	PublishFiles int
+	// FileSize and PieceSize shape the synthetic files.
+	FileSize  int64
+	PieceSize int
+	// TTL is the synthetic metadata time-to-live.
+	TTL simtime.Duration
+	// Queries are the user's active searches.
+	Queries []string
+	// FetchMatching selects every discovered file whose metadata
+	// matches an own query — the demo's stand-in for the user picking
+	// from the result list.
+	FetchMatching bool
+	// PiecesPerHello / MetadataPerHello override the pacing defaults.
+	PiecesPerHello   int
+	MetadataPerHello int
+	// HelloInterval and LivenessWindow tune the beacon clock (defaults:
+	// the protocol's 1 s / 5 s).
+	HelloInterval  time.Duration
+	LivenessWindow time.Duration
+	// Backoff shapes outbound redial.
+	Backoff transport.Backoff
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the daemon's observable state, served by the HTTP endpoint.
+type Stats struct {
+	ID             trace.NodeID    `json:"id"`
+	UptimeSeconds  float64         `json:"uptime_seconds"`
+	InternetAccess bool            `json:"internet_access"`
+	CatalogFiles   int             `json:"catalog_files"`
+	MetadataStored int             `json:"metadata_stored"`
+	Downloading    []string        `json:"downloading"`
+	Completed      map[string]bool `json:"completed"`
+	PiecesVerified uint64          `json:"pieces_verified"`
+	PiecesRejected uint64          `json:"pieces_rejected"`
+	PiecesDroppedNoMetadata uint64 `json:"pieces_dropped_no_metadata"`
+	BadSignatures  uint64          `json:"bad_signatures"`
+	OutboxDrops    uint64          `json:"outbox_drops"`
+	Peers          []peer.Info     `json:"peers"`
+	Transport      peer.Stats      `json:"transport"`
+}
+
+// sentState tracks what this daemon already pushed to one peer, so a
+// 1-per-second hello does not retrigger the same pieces forever.
+type sentState struct {
+	pieces map[metadata.URI]map[int]bool
+}
+
+type outMsg struct {
+	to  trace.NodeID
+	msg wire.Msg
+}
+
+// Daemon is a live MBT node. Construct with New, drive with Run.
+type Daemon struct {
+	cfg     Config
+	mgr     *peer.Manager
+	catalog *server.Safe // nil unless InternetAccess
+	epoch   time.Time
+	outbox  chan outMsg
+
+	listenMu sync.Mutex
+	listener transport.Listener
+
+	mu        sync.Mutex
+	node      *node.Node
+	sent      map[trace.NodeID]*sentState
+	completed map[metadata.URI]bool
+	counters  struct {
+		piecesVerified, piecesRejected, piecesNoMeta uint64
+		badSignatures, outboxDrops                   uint64
+	}
+}
+
+// New validates cfg and builds the daemon (no I/O yet; Run starts it).
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("daemon: nil transport")
+	}
+	if cfg.ListenAddr == "" && len(cfg.PeerAddrs) == 0 {
+		return nil, fmt.Errorf("daemon: no listen address and no peers")
+	}
+	if cfg.InternetNodes <= 0 {
+		cfg.InternetNodes = 1
+	}
+	if cfg.PiecesPerHello <= 0 {
+		cfg.PiecesPerHello = DefaultPiecesPerHello
+	}
+	if cfg.MetadataPerHello <= 0 {
+		cfg.MetadataPerHello = DefaultMetadataPerHello
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = DefaultFileSize
+	}
+	if cfg.PieceSize <= 0 {
+		cfg.PieceSize = metadata.DefaultPieceSize
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+
+	d := &Daemon{
+		cfg:       cfg,
+		epoch:     time.Now(),
+		outbox:    make(chan outMsg, outboxLen),
+		node:      node.New(cfg.ID, cfg.InternetAccess),
+		sent:      make(map[trace.NodeID]*sentState),
+		completed: make(map[metadata.URI]bool),
+	}
+	if cfg.InternetAccess {
+		cat, err := server.NewSafe(cfg.InternetNodes)
+		if err != nil {
+			return nil, err
+		}
+		d.catalog = cat
+		for i := 0; i < cfg.PublishFiles; i++ {
+			if err := cat.Publish(d.syntheticFile(metadata.FileID(i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, q := range cfg.Queries {
+		d.node.AddQuery(q, d.now().Add(cfg.TTL))
+	}
+	d.mgr = peer.NewManager(peer.Config{
+		Self:           cfg.ID,
+		Hello:          d.helloContent,
+		Handler:        (*handler)(d),
+		HelloInterval:  cfg.HelloInterval,
+		LivenessWindow: cfg.LivenessWindow,
+		Backoff:        cfg.Backoff,
+		Logf:           cfg.Logf,
+	})
+	return d, nil
+}
+
+// syntheticFile builds catalog file id, named so that the query "f<id>"
+// (workload.QueryFor's convention) matches it, signed with the shared
+// synthetic key so any daemon can verify it.
+func (d *Daemon) syntheticFile(id metadata.FileID) *metadata.Metadata {
+	name := fmt.Sprintf("f%d synthetic file", id)
+	publisher := "mbtd"
+	return metadata.NewSynthetic(id, name, publisher,
+		fmt.Sprintf("synthetic catalog file %d served by node %d", id, d.cfg.ID),
+		d.cfg.FileSize, d.cfg.PieceSize, d.now(), d.cfg.TTL,
+		workload.KeyFor(publisher))
+}
+
+// now maps wall time onto the simulation clock the protocol state
+// machines understand: milliseconds since daemon start.
+func (d *Daemon) now() simtime.Time {
+	return simtime.Time(time.Since(d.epoch) / time.Millisecond)
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// helloContent supplies the beacon payload: own queries and the files
+// still being downloaded.
+func (d *Daemon) helloContent() ([]string, []metadata.URI) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.node.Queries(d.now()), d.node.WantedIncomplete()
+}
+
+// Addr returns the bound listen address once Run has started listening
+// ("" before then) — the address peers dial when ListenAddr was ":0".
+func (d *Daemon) Addr() string {
+	d.listenMu.Lock()
+	defer d.listenMu.Unlock()
+	if d.listener == nil {
+		return ""
+	}
+	return d.listener.Addr()
+}
+
+// Manager exposes the peer table for stats and tests.
+func (d *Daemon) Manager() *peer.Manager { return d.mgr }
+
+// Run starts the daemon and blocks until ctx ends. All goroutines are
+// joined before it returns.
+func (d *Daemon) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+
+	if d.cfg.ListenAddr != "" {
+		lis, err := d.cfg.Transport.Listen(d.cfg.ListenAddr)
+		if err != nil {
+			return fmt.Errorf("daemon: listen %s: %w", d.cfg.ListenAddr, err)
+		}
+		d.listenMu.Lock()
+		d.listener = lis
+		d.listenMu.Unlock()
+		defer lis.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.mgr.Serve(ctx, lis)
+		}()
+	}
+	for _, addr := range d.cfg.PeerAddrs {
+		addr := addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.mgr.Connect(ctx, d.cfg.Transport, addr)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.mgr.Run(ctx)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.sendLoop(ctx)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.sweepLoop(ctx)
+	}()
+
+	<-ctx.Done()
+	cancel()
+	d.mgr.Close()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// enqueue hands a message to the send loop without blocking; overflow
+// drops it (the next hello re-drives the exchange).
+func (d *Daemon) enqueue(to trace.NodeID, msg wire.Msg) {
+	select {
+	case d.outbox <- outMsg{to: to, msg: msg}:
+	default:
+		d.mu.Lock()
+		d.counters.outboxDrops++
+		d.mu.Unlock()
+	}
+}
+
+// sendLoop drains the outbox. It is the only place handler-originated
+// messages touch a Conn, so handlers never block on a peer's queue.
+func (d *Daemon) sendLoop(ctx context.Context) {
+	for {
+		select {
+		case m := <-d.outbox:
+			sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			if err := d.mgr.Send(sctx, m.to, m.msg); err != nil {
+				d.logf("daemon %d: send %v to node %d: %v", d.cfg.ID, m.msg.Type(), m.to, err)
+			}
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// sweepLoop expires node/catalog state and forgets send tracking for
+// vanished peers.
+func (d *Daemon) sweepLoop(ctx context.Context) {
+	interval := d.cfg.HelloInterval
+	if interval <= 0 {
+		interval = peer.DefaultHelloInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			now := d.now()
+			live := make(map[trace.NodeID]bool)
+			for _, id := range d.mgr.Peers() {
+				live[id] = true
+			}
+			d.mu.Lock()
+			d.node.Expire(now)
+			for id := range d.sent {
+				if !live[id] {
+					delete(d.sent, id)
+				}
+			}
+			d.mu.Unlock()
+			if d.catalog != nil {
+				d.catalog.Expire(now)
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Completed reports whether uri finished downloading and verified.
+func (d *Daemon) Completed(uri metadata.URI) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.completed[uri]
+}
+
+// Stats snapshots the daemon for the HTTP endpoint and tests.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	st := Stats{
+		ID:             d.cfg.ID,
+		UptimeSeconds:  time.Since(d.epoch).Seconds(),
+		InternetAccess: d.cfg.InternetAccess,
+		MetadataStored: len(d.node.MetadataStore()),
+		Completed:      make(map[string]bool, len(d.completed)),
+		PiecesVerified: d.counters.piecesVerified,
+		PiecesRejected: d.counters.piecesRejected,
+		PiecesDroppedNoMetadata: d.counters.piecesNoMeta,
+		BadSignatures:  d.counters.badSignatures,
+		OutboxDrops:    d.counters.outboxDrops,
+	}
+	for _, uri := range d.node.WantedIncomplete() {
+		st.Downloading = append(st.Downloading, string(uri))
+	}
+	for uri := range d.completed {
+		st.Completed[string(uri)] = true
+	}
+	d.mu.Unlock()
+	if d.catalog != nil {
+		st.CatalogFiles = d.catalog.Len()
+	}
+	st.Peers = d.mgr.Table()
+	st.Transport = d.mgr.Stats()
+	return st
+}
+
+// handler adapts Daemon to peer.Handler without exporting the methods
+// on Daemon itself.
+type handler Daemon
+
+func (h *handler) HandleHello(from trace.NodeID, msg *wire.Hello) {
+	(*Daemon)(h).onHello(from, msg)
+}
+func (h *handler) HandleMetadata(from trace.NodeID, m *wire.Metadata) {
+	(*Daemon)(h).onMetadata(from, m)
+}
+func (h *handler) HandlePiece(from trace.NodeID, p *wire.Piece) {
+	(*Daemon)(h).onPiece(from, p)
+}
+
+// onHello is the live protocol's driver: answer the peer's queries with
+// metadata, and feed its advertised downloads with pieces.
+func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
+	now := d.now()
+
+	// The peer set is this node's "frequent contacts" in the live
+	// runtime: cache their queries so MBT's query distribution has
+	// state to work with once multi-hop topologies appear.
+	d.mu.Lock()
+	d.node.SetFrequent(d.mgr.Peers())
+	d.node.LearnPeerQueries(from, msg.Queries, now.Add(10*hello.Window))
+	d.mu.Unlock()
+
+	var out []wire.Msg
+	for _, q := range msg.Queries {
+		out = append(out, d.answerQuery(now, from, q)...)
+	}
+	for _, uri := range msg.Downloading {
+		out = append(out, d.servePieces(from, uri)...)
+	}
+	for _, m := range out {
+		d.enqueue(from, m)
+	}
+}
+
+// answerQuery collects matching metadata from the catalog (Internet
+// nodes) and the node's own store, best first.
+func (d *Daemon) answerQuery(now simtime.Time, from trace.NodeID, q string) []wire.Msg {
+	limit := d.cfg.MetadataPerHello
+	var out []wire.Msg
+	seen := make(map[metadata.URI]bool)
+	if d.catalog != nil {
+		for _, m := range d.catalog.Query(now, q, limit) {
+			d.catalog.RecordRequest(now, m.URI, from)
+			pop := d.catalog.Popularity(now, m.URI)
+			seen[m.URI] = true
+			out = append(out, &wire.Metadata{Popularity: pop, Record: *m})
+		}
+	}
+	d.mu.Lock()
+	for _, sm := range d.node.MetadataStore() {
+		if len(out) >= limit {
+			break
+		}
+		if seen[sm.Meta.URI] || sm.Meta.Expired(now) || !sm.Meta.MatchesQuery(q) {
+			continue
+		}
+		out = append(out, &wire.Metadata{Popularity: sm.Popularity, Record: *sm.Meta.Clone()})
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// servePieces streams up to PiecesPerHello pieces of uri that this node
+// can regenerate and has not yet pushed to the peer. When every piece
+// has been pushed but the peer still advertises the download, tracking
+// resets — the live retransmit path for lost frames.
+func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
+	now := d.now()
+	var rec *metadata.Metadata
+	if d.catalog != nil {
+		if m, err := d.catalog.Lookup(uri); err == nil {
+			rec = m
+		}
+	}
+	canServe := func(i int) bool { return true }
+	if rec == nil {
+		d.mu.Lock()
+		sm := d.node.Metadata(uri)
+		ps := d.node.Pieces(uri)
+		if sm != nil && !sm.Meta.Expired(now) && ps != nil && ps.Count() > 0 {
+			rec = sm.Meta.Clone()
+			have := make([]bool, ps.Total())
+			for i := range have {
+				have[i] = ps.Have(i)
+			}
+			canServe = func(i int) bool { return i < len(have) && have[i] }
+		}
+		d.mu.Unlock()
+	}
+	if rec == nil {
+		return nil
+	}
+
+	d.mu.Lock()
+	st := d.sent[from]
+	if st == nil {
+		st = &sentState{pieces: make(map[metadata.URI]map[int]bool)}
+		d.sent[from] = st
+	}
+	sent := st.pieces[uri]
+	if sent == nil {
+		sent = make(map[int]bool)
+		st.pieces[uri] = sent
+	}
+	total := rec.NumPieces()
+	var idxs []int
+	for i := 0; i < total && len(idxs) < d.cfg.PiecesPerHello; i++ {
+		if !sent[i] && canServe(i) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		// Everything pushed, peer still wants it: assume loss, resend.
+		allSent := true
+		for i := 0; i < total; i++ {
+			if canServe(i) && !sent[i] {
+				allSent = false
+				break
+			}
+		}
+		if allSent && len(sent) > 0 {
+			st.pieces[uri] = make(map[int]bool)
+		}
+		d.mu.Unlock()
+		return nil
+	}
+	for _, i := range idxs {
+		sent[i] = true
+	}
+	d.mu.Unlock()
+
+	out := make([]wire.Msg, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, &wire.Piece{
+			URI:   uri,
+			Index: i,
+			Total: total,
+			Data:  metadata.SyntheticPiece(uri, i, rec.PieceLen(i)),
+		})
+	}
+	return out
+}
+
+// onMetadata verifies and stores a received record; if it matches one
+// of this node's own queries and FetchMatching is on, the file is
+// selected for download.
+func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
+	now := d.now()
+	rec := m.Record.Clone()
+	if err := rec.Validate(); err != nil {
+		d.bumpBadSignature()
+		return
+	}
+	if !rec.Verify(workload.KeyFor(rec.Publisher)) {
+		d.bumpBadSignature()
+		return
+	}
+	d.mu.Lock()
+	added := d.node.AddMetadata(rec, m.Popularity, now)
+	selected := false
+	if d.cfg.FetchMatching && !d.completed[rec.URI] {
+		for _, q := range d.node.Queries(now) {
+			if rec.MatchesQuery(q) {
+				if ps := d.node.Pieces(rec.URI); ps == nil || !ps.Complete() {
+					d.node.Select(rec.URI)
+					selected = true
+				}
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if added {
+		d.logf("daemon %d: stored metadata %s (pop %.3f) from node %d, selected=%v",
+			d.cfg.ID, rec.URI, m.Popularity, from, selected)
+	}
+}
+
+func (d *Daemon) bumpBadSignature() {
+	d.mu.Lock()
+	d.counters.badSignatures++
+	d.mu.Unlock()
+}
+
+// onPiece verifies a piece against the stored record and stores it;
+// the piggybacked record (MBT-QM) is processed first when present.
+func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
+	if p.Piggyback != nil {
+		d.onMetadata(from, p.Piggyback)
+	}
+	now := d.now()
+	d.mu.Lock()
+	sm := d.node.Metadata(p.URI)
+	if sm == nil || sm.Meta.Expired(now) {
+		d.counters.piecesNoMeta++
+		d.mu.Unlock()
+		return
+	}
+	if !p.Verify(sm.Meta) {
+		d.counters.piecesRejected++
+		d.mu.Unlock()
+		return
+	}
+	added := d.node.AddPiece(p.URI, p.Index, sm.Meta.NumPieces())
+	if added {
+		d.counters.piecesVerified++
+	}
+	justDone := added && d.node.HasFullFile(p.URI) && !d.completed[p.URI]
+	if justDone {
+		d.completed[p.URI] = true
+	}
+	d.mu.Unlock()
+	if justDone {
+		d.logf("daemon %d: download of %s complete (%d pieces, verified) via node %d",
+			d.cfg.ID, p.URI, p.Total, from)
+	}
+}
+
+// CompletedURIs lists finished downloads, sorted.
+func (d *Daemon) CompletedURIs() []metadata.URI {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]metadata.URI, 0, len(d.completed))
+	for uri := range d.completed {
+		out = append(out, uri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,34 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET /healthz — liveness: {"status":"ok", ...} with peer count
+//	GET /stats   — the full Stats snapshot
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"id":             d.cfg.ID,
+			"uptime_seconds": time.Since(d.epoch).Seconds(),
+			"peers":          len(d.mgr.Peers()),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

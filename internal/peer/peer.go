@@ -1,0 +1,463 @@
+// Package peer manages live protocol sessions over a transport.
+//
+// A Manager owns every connection of one daemon: it performs the hello
+// handshake that identifies the node on the other end, keeps a peer
+// table keyed by trace.NodeID, beacons hellos at the protocol interval
+// (§III-B: at least once per second), and expires peers that fall
+// silent past the 5-second hello window. Inbound connections arrive via
+// Serve, outbound links are maintained by Connect, which redials with
+// exponential backoff when a link drops.
+//
+// Ownership rules: the Manager owns its Conns — callers never touch a
+// Conn directly. Each session has exactly one receive goroutine; sends
+// go through the Conn's internal queue, so handler callbacks may call
+// Send/SendHello from any goroutine, including from inside a callback.
+// Callbacks run on session goroutines, one message at a time per peer,
+// and must not block for long (they stall only that peer's inbox).
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hello"
+	"repro/internal/metadata"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Protocol timing defaults, the wall-clock versions of the simulator's
+// hello constants.
+const (
+	// DefaultHelloInterval mirrors hello.Interval: beacon once per
+	// second.
+	DefaultHelloInterval = time.Duration(hello.Interval) * time.Millisecond
+	// DefaultLivenessWindow mirrors hello.Window: a peer silent for 5
+	// seconds is gone.
+	DefaultLivenessWindow = time.Duration(hello.Window) * time.Millisecond
+	// DefaultHandshakeTimeout bounds the wait for the first hello on a
+	// new connection.
+	DefaultHandshakeTimeout = 5 * time.Second
+)
+
+// Handler receives decoded messages from live peers. From identifies
+// the sending peer (already handshaken). Calls are serialized per peer
+// but concurrent across peers.
+type Handler interface {
+	HandleHello(from trace.NodeID, h *wire.Hello)
+	HandleMetadata(from trace.NodeID, m *wire.Metadata)
+	HandlePiece(from trace.NodeID, p *wire.Piece)
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Self is this node's identity, announced in every hello.
+	Self trace.NodeID
+	// Hello supplies the node's current beacon content: active query
+	// strings and the URIs being downloaded. Called on every beacon;
+	// must be safe for concurrent use.
+	Hello func() (queries []string, downloading []metadata.URI)
+	// Handler receives peer messages; nil handlers drop them.
+	Handler Handler
+	// HelloInterval, LivenessWindow, HandshakeTimeout default to the
+	// protocol constants above.
+	HelloInterval    time.Duration
+	LivenessWindow   time.Duration
+	HandshakeTimeout time.Duration
+	// Backoff shapes Connect's redial schedule.
+	Backoff transport.Backoff
+	// Logf, when set, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+// Info describes one live peer for stats endpoints.
+type Info struct {
+	ID        trace.NodeID  `json:"id"`
+	Addr      string        `json:"addr"`
+	Inbound   bool          `json:"inbound"`
+	LastHello time.Duration `json:"last_hello_ago"`
+	Sessions  int           `json:"sessions"`
+}
+
+// Stats counts manager activity; all fields are cumulative.
+type Stats struct {
+	HellosSent    uint64 `json:"hellos_sent"`
+	HellosRecv    uint64 `json:"hellos_recv"`
+	MetadataSent  uint64 `json:"metadata_sent"`
+	MetadataRecv  uint64 `json:"metadata_recv"`
+	PiecesSent    uint64 `json:"pieces_sent"`
+	PiecesRecv    uint64 `json:"pieces_recv"`
+	Accepts       uint64 `json:"accepts"`
+	Dials         uint64 `json:"dials"`
+	Reconnects    uint64 `json:"reconnects"`
+	Drops         uint64 `json:"drops"`
+	Expiries      uint64 `json:"expiries"`
+	HandshakeFail uint64 `json:"handshake_failures"`
+}
+
+// ErrUnknownPeer reports a Send to a peer with no live session.
+var ErrUnknownPeer = errors.New("peer: no live session")
+
+// session is one handshaken connection.
+type session struct {
+	sid     uint64
+	peer    trace.NodeID
+	conn    transport.Conn
+	inbound bool
+}
+
+// Manager is the daemon's connection owner. Construct with NewManager.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nextSID   uint64
+	byPeer    map[trace.NodeID]map[uint64]*session
+	lastHello map[trace.NodeID]time.Time
+	stats     Stats
+}
+
+// NewManager returns a manager with defaults applied.
+func NewManager(cfg Config) *Manager {
+	if cfg.HelloInterval <= 0 {
+		cfg.HelloInterval = DefaultHelloInterval
+	}
+	if cfg.LivenessWindow <= 0 {
+		cfg.LivenessWindow = DefaultLivenessWindow
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.Hello == nil {
+		cfg.Hello = func() ([]string, []metadata.URI) { return nil, nil }
+	}
+	return &Manager{
+		cfg:       cfg,
+		byPeer:    make(map[trace.NodeID]map[uint64]*session),
+		lastHello: make(map[trace.NodeID]time.Time),
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// helloMsg builds the current beacon.
+func (m *Manager) helloMsg() *wire.Hello {
+	queries, downloading := m.cfg.Hello()
+	return &wire.Hello{
+		From:        m.cfg.Self,
+		Heard:       m.Peers(),
+		Queries:     queries,
+		Downloading: downloading,
+	}
+}
+
+// Run beacons hellos and expires silent peers until ctx ends. It always
+// returns ctx's error.
+func (m *Manager) Run(ctx context.Context) error {
+	t := time.NewTicker(m.cfg.HelloInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.expire(time.Now())
+			m.broadcastHello(ctx)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Serve accepts inbound connections until ctx ends or the listener
+// fails.
+func (m *Manager) Serve(ctx context.Context, lis transport.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := lis.Accept(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		m.addStat(func(s *Stats) { s.Accepts++ })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.runSession(ctx, conn, true)
+		}()
+	}
+}
+
+// Connect maintains an outbound link to addr: dial with backoff,
+// handshake, pump messages, and redial when the link drops. It returns
+// only when ctx ends.
+func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr string) error {
+	first := true
+	for {
+		conn, err := transport.DialBackoff(ctx, tr, addr, m.cfg.Backoff)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		m.addStat(func(s *Stats) { s.Dials++ })
+		if !first {
+			m.addStat(func(s *Stats) { s.Reconnects++ })
+		}
+		first = false
+		m.runSession(ctx, conn, false)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		m.logf("peer: link to %s dropped; redialing", addr)
+	}
+}
+
+// runSession handshakes conn and pumps its messages until it dies.
+func (m *Manager) runSession(ctx context.Context, conn transport.Conn, inbound bool) {
+	peerID, firstHello, err := m.handshake(ctx, conn)
+	if err != nil {
+		m.addStat(func(s *Stats) { s.HandshakeFail++ })
+		m.logf("peer: handshake with %s failed: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	s := m.register(peerID, conn, inbound)
+	m.logf("peer: session %d with node %d up (%s, inbound=%v)",
+		s.sid, peerID, conn.RemoteAddr(), inbound)
+	m.deliver(peerID, firstHello)
+	for {
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			m.unregister(s)
+			m.addStat(func(st *Stats) { st.Drops++ })
+			m.logf("peer: session %d with node %d down: %v", s.sid, peerID, err)
+			return
+		}
+		m.deliver(peerID, msg)
+	}
+}
+
+// handshake announces ourselves and waits for the peer's first hello.
+func (m *Manager) handshake(ctx context.Context, conn transport.Conn) (trace.NodeID, *wire.Hello, error) {
+	hctx, cancel := context.WithTimeout(ctx, m.cfg.HandshakeTimeout)
+	defer cancel()
+	if err := conn.Send(hctx, m.helloMsg()); err != nil {
+		return 0, nil, fmt.Errorf("send hello: %w", err)
+	}
+	m.addStat(func(s *Stats) { s.HellosSent++ })
+	for {
+		msg, err := conn.Recv(hctx)
+		if err != nil {
+			return 0, nil, fmt.Errorf("await hello: %w", err)
+		}
+		h, ok := msg.(*wire.Hello)
+		if !ok {
+			// A peer racing data before its hello is out of spec;
+			// keep waiting for the identity, drop the data.
+			continue
+		}
+		if h.From == m.cfg.Self {
+			return 0, nil, fmt.Errorf("peer: connected to self (node %d)", h.From)
+		}
+		return h.From, h, nil
+	}
+}
+
+// register adds a handshaken session to the peer table.
+func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound bool) *session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextSID++
+	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound}
+	set := m.byPeer[peerID]
+	if set == nil {
+		set = make(map[uint64]*session)
+		m.byPeer[peerID] = set
+	}
+	set[s.sid] = s
+	m.lastHello[peerID] = time.Now()
+	return s
+}
+
+// unregister removes a dead session and closes its conn.
+func (m *Manager) unregister(s *session) {
+	m.mu.Lock()
+	if set := m.byPeer[s.peer]; set != nil {
+		delete(set, s.sid)
+		if len(set) == 0 {
+			delete(m.byPeer, s.peer)
+			delete(m.lastHello, s.peer)
+		}
+	}
+	m.mu.Unlock()
+	s.conn.Close()
+}
+
+// deliver updates liveness and dispatches one message.
+func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
+	switch v := msg.(type) {
+	case *wire.Hello:
+		m.mu.Lock()
+		m.lastHello[from] = time.Now()
+		m.stats.HellosRecv++
+		m.mu.Unlock()
+		if m.cfg.Handler != nil {
+			m.cfg.Handler.HandleHello(from, v)
+		}
+	case *wire.Metadata:
+		m.addStat(func(s *Stats) { s.MetadataRecv++ })
+		if m.cfg.Handler != nil {
+			m.cfg.Handler.HandleMetadata(from, v)
+		}
+	case *wire.Piece:
+		m.addStat(func(s *Stats) { s.PiecesRecv++ })
+		if m.cfg.Handler != nil {
+			m.cfg.Handler.HandlePiece(from, v)
+		}
+	}
+}
+
+// pick returns the newest session for peer id, the one Send uses.
+func (m *Manager) pick(id trace.NodeID) *session {
+	var best *session
+	for _, s := range m.byPeer[id] {
+		if best == nil || s.sid > best.sid {
+			best = s
+		}
+	}
+	return best
+}
+
+// Send delivers one message to a live peer.
+func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error {
+	m.mu.Lock()
+	s := m.pick(id)
+	m.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("node %d: %w", id, ErrUnknownPeer)
+	}
+	if err := s.conn.Send(ctx, msg); err != nil {
+		return err
+	}
+	switch msg.(type) {
+	case *wire.Hello:
+		m.addStat(func(st *Stats) { st.HellosSent++ })
+	case *wire.Metadata:
+		m.addStat(func(st *Stats) { st.MetadataSent++ })
+	case *wire.Piece:
+		m.addStat(func(st *Stats) { st.PiecesSent++ })
+	}
+	return nil
+}
+
+// broadcastHello beacons to every live peer (once per peer, even with
+// duplicate sessions).
+func (m *Manager) broadcastHello(ctx context.Context) {
+	msg := m.helloMsg()
+	for _, id := range m.Peers() {
+		if err := m.Send(ctx, id, msg); err != nil {
+			m.logf("peer: hello to node %d failed: %v", id, err)
+		}
+	}
+}
+
+// expire drops peers whose last hello is older than the liveness
+// window, closing their sessions.
+func (m *Manager) expire(now time.Time) {
+	m.mu.Lock()
+	var dead []*session
+	for id, at := range m.lastHello {
+		if now.Sub(at) <= m.cfg.LivenessWindow {
+			continue
+		}
+		for _, s := range m.byPeer[id] {
+			dead = append(dead, s)
+		}
+		delete(m.byPeer, id)
+		delete(m.lastHello, id)
+		m.stats.Expiries++
+	}
+	m.mu.Unlock()
+	for _, s := range dead {
+		s.conn.Close()
+		m.logf("peer: node %d expired (no hello in %v)", s.peer, m.cfg.LivenessWindow)
+	}
+}
+
+// Peers returns the live peer IDs, sorted.
+func (m *Manager) Peers() []trace.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]trace.NodeID, 0, len(m.byPeer))
+	for id := range m.byPeer {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table snapshots the peer table for stats endpoints.
+func (m *Manager) Table() []Info {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.byPeer))
+	for id, set := range m.byPeer {
+		s := m.pick(id)
+		if s == nil {
+			continue
+		}
+		out = append(out, Info{
+			ID:        id,
+			Addr:      s.conn.RemoteAddr(),
+			Inbound:   s.inbound,
+			LastHello: now.Sub(m.lastHello[id]),
+			Sessions:  len(set),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) addStat(f func(*Stats)) {
+	m.mu.Lock()
+	f(&m.stats)
+	m.mu.Unlock()
+}
+
+// Close closes every session; used on daemon shutdown after contexts
+// are canceled.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	var conns []transport.Conn
+	for _, set := range m.byPeer {
+		for _, s := range set {
+			conns = append(conns, s.conn)
+		}
+	}
+	m.byPeer = make(map[trace.NodeID]map[uint64]*session)
+	m.lastHello = make(map[trace.NodeID]time.Time)
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

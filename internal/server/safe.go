@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Safe is a concurrency-safe wrapper around Server for the live runtime,
+// where catalog queries arrive from many peer sessions at once. All
+// methods take one mutex; the underlying Server is never exposed.
+//
+// Methods that return metadata return clones made under the lock:
+// Metadata lazily caches its search tokens on first MatchesQuery, so
+// handing out the catalog's own records would race once two sessions
+// matched the same record concurrently.
+type Safe struct {
+	mu sync.Mutex
+	s  *Server
+}
+
+// NewSafe wraps an empty server; internetNodes as in New.
+func NewSafe(internetNodes int) (*Safe, error) {
+	s, err := New(internetNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Safe{s: s}, nil
+}
+
+// Publish adds metadata to the catalog.
+func (c *Safe) Publish(m *metadata.Metadata) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Publish(m)
+}
+
+// Len returns the catalog size.
+func (c *Safe) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Len()
+}
+
+// Lookup returns a clone of the metadata for uri.
+func (c *Safe) Lookup(uri metadata.URI) (*metadata.Metadata, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := c.s.Lookup(uri)
+	if err != nil {
+		return nil, err
+	}
+	return m.Clone(), nil
+}
+
+// RecordRequest notes a popularity-feeding request.
+func (c *Safe) RecordRequest(now simtime.Time, uri metadata.URI, node trace.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.RecordRequest(now, uri, node)
+}
+
+// Popularity returns the measured popularity of uri at now.
+func (c *Safe) Popularity(now simtime.Time, uri metadata.URI) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Popularity(now, uri)
+}
+
+// Expire removes catalog entries whose TTL has passed.
+func (c *Safe) Expire(now simtime.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Expire(now)
+}
+
+// Query returns clones of up to limit best-matched records.
+func (c *Safe) Query(now simtime.Time, query string, limit int) []*metadata.Metadata {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return clones(c.s.Query(now, query, limit))
+}
+
+// Top returns clones of up to limit most popular records.
+func (c *Safe) Top(now simtime.Time, limit int) []*metadata.Metadata {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return clones(c.s.Top(now, limit))
+}
+
+// Piece serves piece i of the file at uri.
+func (c *Safe) Piece(uri metadata.URI, i int) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Piece(uri, i)
+}
+
+func clones(in []*metadata.Metadata) []*metadata.Metadata {
+	if in == nil {
+		return nil
+	}
+	out := make([]*metadata.Metadata, len(in))
+	for i, m := range in {
+		out[i] = m.Clone()
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// TestSafeConcurrentUse hammers one Safe catalog from many goroutines:
+// publishers, queriers, piece readers, and popularity recorders all at
+// once. Run under -race this is the wrapper's correctness test.
+func TestSafeConcurrentUse(t *testing.T) {
+	c, err := NewSafe(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := simtime.At(0, simtime.FileGenerationOffset)
+	seed := publishFiles(t, c, 0, 4, now)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch w % 4 {
+				case 0: // publisher
+					publishFiles(t, c, 100+w*1000+i, 1, now)
+				case 1: // querier + matcher
+					for _, m := range c.Query(now, "file story", 5) {
+						m.MatchesQuery("file")
+					}
+					c.Top(now, 3)
+				case 2: // piece reader
+					m, err := c.Lookup(seed[0].URI)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					data, err := c.Piece(m.URI, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !m.VerifyPiece(0, data) {
+						t.Error("piece failed verification")
+						return
+					}
+				case 3: // popularity recorder
+					if err := c.RecordRequest(now, seed[0].URI, trace.NodeID(w)); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Popularity(now, seed[0].URI)
+					c.Expire(now)
+					c.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Len(); got < 4 {
+		t.Fatalf("catalog lost records: %d", got)
+	}
+	if pop := c.Popularity(now, seed[0].URI); pop <= 0 {
+		t.Fatalf("popularity = %v, want > 0", pop)
+	}
+}
+
+func publishFiles(t *testing.T, c *Safe, firstID, n int, now simtime.Time) []*metadata.Metadata {
+	t.Helper()
+	out := make([]*metadata.Metadata, 0, n)
+	for i := 0; i < n; i++ {
+		m := metadata.NewSynthetic(metadata.FileID(firstID+i),
+			"file story", "pub", "a story file", 300*1024,
+			metadata.DefaultPieceSize, now, simtime.Days(3), []byte("k"))
+		if err := c.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// decodeFrame applies the package's decode-error policy to one received
+// frame: (msg, nil, nil) delivers, (nil, nil, nil) skips a malformed but
+// well-framed message, and a non-nil fatal error closes the connection.
+func decodeFrame(frame []byte) (wire.Msg, error) {
+	m, err := wire.Decode(frame)
+	if err == nil {
+		return m, nil
+	}
+	switch {
+	case errors.Is(err, wire.ErrBadMagic):
+		return nil, fmt.Errorf("framing garbage: %w", err)
+	case errors.Is(err, wire.ErrVersion):
+		return nil, fmt.Errorf("%w: %w", ErrVersionMismatch, err)
+	default:
+		// Malformed body inside a good frame: resync by skipping.
+		return nil, nil
+	}
+}
+
+// memQueue is the default per-direction frame buffer of a loopback conn.
+const memQueue = 64
+
+// Loopback is an in-memory Transport: a named set of listeners connected
+// by channel pairs. Frames still round-trip through the wire codec, so
+// tests over Loopback exercise the same bytes TCP would carry, with no
+// sockets, timers, or scheduling nondeterminism of their own.
+type Loopback struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	closed    bool
+}
+
+// NewLoopback returns an empty in-memory network.
+func NewLoopback() *Loopback {
+	return &Loopback{listeners: make(map[string]*memListener)}
+}
+
+// Close tears the network down: every listener closes and future Dials
+// fail.
+func (n *Loopback) Close() error {
+	n.mu.Lock()
+	ls := make([]*memListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	return nil
+}
+
+// Listen binds addr (any non-empty string) on the in-memory network.
+func (n *Loopback) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("transport: empty loopback address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%q: %w", addr, ErrAddrInUse)
+	}
+	l := &memListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *memConn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at addr.
+func (n *Loopback) Dial(ctx context.Context, addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", addr, ErrNoListener)
+	}
+	dialSide, acceptSide := memPair(fmt.Sprintf("dial:%s", addr), addr)
+	select {
+	case l.accept <- acceptSide:
+		return dialSide, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%q: %w", addr, ErrNoListener)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type memListener struct {
+	net    *Loopback
+	addr   string
+	accept chan *memConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept(ctx context.Context) (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// memConn is one end of a loopback link: it sends encoded frames into
+// out and receives from in; done is this end's close signal, peerDone
+// the other end's.
+type memConn struct {
+	local, remote string
+	out, in       chan []byte
+	done          chan struct{}
+	peerDone      chan struct{}
+	once          sync.Once
+}
+
+// memPair builds two connected conn ends.
+func memPair(dialAddr, listenAddr string) (dial, accept *memConn) {
+	ab := make(chan []byte, memQueue)
+	ba := make(chan []byte, memQueue)
+	aDone := make(chan struct{})
+	bDone := make(chan struct{})
+	dial = &memConn{
+		local: dialAddr, remote: listenAddr,
+		out: ab, in: ba, done: aDone, peerDone: bDone,
+	}
+	accept = &memConn{
+		local: listenAddr, remote: dialAddr,
+		out: ba, in: ab, done: bDone, peerDone: aDone,
+	}
+	return dial, accept
+}
+
+func (c *memConn) Send(ctx context.Context, m wire.Msg) error {
+	frame := wire.Encode(m)
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peerDone:
+		return fmt.Errorf("%w: peer closed", ErrClosed)
+	default:
+	}
+	select {
+	case c.out <- frame:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	case <-c.peerDone:
+		return fmt.Errorf("%w: peer closed", ErrClosed)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *memConn) Recv(ctx context.Context) (wire.Msg, error) {
+	for {
+		// Deliver buffered frames before reacting to a peer close, so
+		// a sender that writes then closes loses nothing.
+		select {
+		case frame := <-c.in:
+			m, err := decodeFrame(frame)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if m == nil {
+				continue // malformed body: skip, stay connected
+			}
+			return m, nil
+		default:
+		}
+		select {
+		case frame := <-c.in:
+			m, err := decodeFrame(frame)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if m == nil {
+				continue
+			}
+			return m, nil
+		case <-c.done:
+			return nil, ErrClosed
+		case <-c.peerDone:
+			// Final drain: the peer may have sent then closed.
+			select {
+			case frame := <-c.in:
+				m, err := decodeFrame(frame)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				if m == nil {
+					continue
+				}
+				return m, nil
+			default:
+				return nil, io.EOF
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+func (c *memConn) LocalAddr() string  { return c.local }
+func (c *memConn) RemoteAddr() string { return c.remote }

@@ -63,11 +63,16 @@ const (
 	maxDataLen = 16 * 1024 * 1024
 )
 
-// Decode errors.
+// Decode errors. These are sentinels so the transport layer can match
+// with errors.Is and react per cause: ErrBadMagic and ErrTruncated mean
+// framing garbage (close the connection), ErrVersion means a healthy peer
+// speaking a different protocol revision (close politely, do not retry),
+// and the remaining sentinels mean a malformed but well-framed message
+// (drop it and keep the connection).
 var (
 	ErrTruncated = errors.New("wire: truncated message")
 	ErrBadMagic  = errors.New("wire: bad magic byte")
-	ErrBadVer    = errors.New("wire: unsupported version")
+	ErrVersion   = errors.New("wire: unsupported version")
 	ErrBadType   = errors.New("wire: unknown message type")
 	ErrTrailing  = errors.New("wire: trailing bytes after message")
 	ErrTooLong   = errors.New("wire: field exceeds limit")
@@ -253,7 +258,7 @@ func Peek(b []byte) (MsgType, error) {
 		return 0, ErrBadMagic
 	}
 	if b[1] != version {
-		return 0, ErrBadVer
+		return 0, fmt.Errorf("version %d: %w", b[1], ErrVersion)
 	}
 	t := MsgType(b[2])
 	switch t {
@@ -468,4 +473,57 @@ func DecodePiece(b []byte) (*Piece, error) {
 // given metadata record (the receiver-side integrity check).
 func (p *Piece) Verify(rec *metadata.Metadata) bool {
 	return rec.URI == p.URI && rec.VerifyPiece(p.Index, p.Data)
+}
+
+// Msg is any decoded on-air message: *Hello, *Metadata, or *Piece.
+type Msg interface {
+	// Type returns the message's wire type tag.
+	Type() MsgType
+}
+
+// Type implements Msg.
+func (*Hello) Type() MsgType { return TypeHello }
+
+// Type implements Msg.
+func (*Metadata) Type() MsgType { return TypeMetadata }
+
+// Type implements Msg.
+func (*Piece) Type() MsgType { return TypePiece }
+
+// Encode serializes any message.
+func Encode(m Msg) []byte {
+	switch m := m.(type) {
+	case *Hello:
+		return EncodeHello(m)
+	case *Metadata:
+		return EncodeMetadata(m)
+	case *Piece:
+		return EncodePiece(m)
+	default:
+		panic(fmt.Sprintf("wire: Encode(%T)", m))
+	}
+}
+
+// Decode parses any encoded message, dispatching on the header's type
+// tag. Errors wrap the sentinel decode errors (ErrTruncated, ErrBadMagic,
+// ErrVersion, ...) so callers can distinguish framing garbage from a
+// version mismatch from a malformed body.
+func Decode(b []byte) (Msg, error) {
+	t, err := Peek(b)
+	if err != nil {
+		return nil, err
+	}
+	var m Msg
+	switch t {
+	case TypeHello:
+		m, err = DecodeHello(b)
+	case TypeMetadata:
+		m, err = DecodeMetadata(b)
+	default:
+		m, err = DecodePiece(b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
