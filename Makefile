@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench fuzz
+.PHONY: check vet test race short bench fuzz chaos chaos-short
 
 check: vet test race
 
@@ -19,6 +19,15 @@ race:
 # Quick loop: skips the full -small sweep tests.
 short:
 	$(GO) test -short ./...
+
+# Chaos soak: two daemons over the fault injector (30% drop, 20%
+# corruption, a scripted 10 s partition) must still complete a download,
+# race-clean. chaos-short shrinks the partition for a quick smoke.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault' -v ./internal/daemon ./cmd/mbtd
+
+chaos-short:
+	$(GO) test -race -count=1 -short -run Chaos -v ./internal/daemon
 
 # The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
 bench:

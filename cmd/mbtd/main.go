@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/fault"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		fetch    = fs.Bool("fetch-matching", true, "download every file whose metadata matches a query")
 		hello    = fs.Duration("hello", time.Second, "hello beacon interval")
 		window   = fs.Duration("window", 5*time.Second, "peer liveness window (drop peers silent this long)")
+		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +80,21 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		logf = nil
 	}
 
+	var tr transport.Transport = &transport.TCP{}
+	var chaos *fault.Transport
+	if *faultArg != "" {
+		fcfg, err := fault.ParseSpec(*faultArg)
+		if err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		chaos = fault.Wrap(tr, fcfg)
+		tr = chaos
+		logger.Printf("fault injection on: %s", *faultArg)
+	}
+
 	cfg := daemon.Config{
 		ID:             trace.NodeID(*id),
-		Transport:      &transport.TCP{},
+		Transport:      tr,
 		ListenAddr:     *listen,
 		PeerAddrs:      splitList(*peers),
 		InternetAccess: *internet,
@@ -114,6 +128,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	logger.Printf("node %d up: listen=%q peers=%v internet=%v files=%d queries=%v",
 		*id, *listen, cfg.PeerAddrs, *internet, *files, cfg.Queries)
 	err = d.Run(ctx)
+	if chaos != nil {
+		logger.Printf("fault injector: %+v", chaos.Stats())
+	}
 	if errors.Is(err, context.Canceled) {
 		logger.Printf("shut down")
 	}

@@ -25,6 +25,15 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+func TestFaultFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-id", "1", "-listen", "127.0.0.1:0", "-fault", "drop=1.5",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-fault") {
+		t.Fatalf("bad -fault spec accepted: %v", err)
+	}
+}
+
 func TestSplitList(t *testing.T) {
 	got := splitList(" a, b ,,c ")
 	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
@@ -95,6 +104,65 @@ func TestLocalhostDemo(t *testing.T) {
 	}
 
 	// Graceful shutdown: both daemons return the context error only.
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+// TestLocalhostDemoUnderFaults reruns the demo with the leecher's
+// transport behind `-fault`: 20% drop and 10% corruption over real TCP
+// sockets, recovered by the resend deadline and stall re-drive.
+func TestLocalhostDemoUnderFaults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	seedPeer, leechHTTP := freePort(t), freePort(t)
+	errs := make(chan error, 2)
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "1", "-listen", seedPeer, "-internet", "-files", "1",
+			"-hello", "20ms", "-window", "500ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "2", "-peers", seedPeer, "-query", "f0",
+			"-http", leechHTTP, "-hello", "20ms", "-window", "500ms",
+			"-fault", "seed=7,drop=0.2,corrupt=0.1", "-quiet",
+		}, io.Discard)
+	}()
+
+	statsURL := fmt.Sprintf("http://%s/stats", leechHTTP)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("faulty demo download never completed")
+		}
+		select {
+		case err := <-errs:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		var stats struct {
+			Completed map[string]bool `json:"completed"`
+		}
+		if resp, err := http.Get(statsURL); err == nil {
+			json.NewDecoder(resp.Body).Decode(&stats)
+			resp.Body.Close()
+			if stats.Completed["dtn://files/0"] {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 	cancel()
 	for i := 0; i < 2; i++ {
 		select {

@@ -1,0 +1,135 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metadata"
+	"repro/internal/transport"
+)
+
+func waitLong(t *testing.T, limit time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosSoak is the tentpole robustness check: a seed and a leech
+// run over the fault injector at 30% drop + 20% corruption, with
+// duplication, reordering, random conn kills, dial failures, added
+// latency, and one scripted partition — and the download must still
+// complete, with every piece checksum-verified, race-clean. The fixed
+// seed makes the fault streams reproducible run to run.
+//
+// The recovery paths this leans on, all exercised in one run: redial
+// with backoff after kills, flap demotion, the per-piece ResendAfter
+// deadline (hello advertisement as implicit NACK), stall re-drives
+// against the retry budget, duplicate dedup, and bad-signature
+// tolerance for in-flight corruption.
+//
+// -short shrinks the partition so the CI smoke finishes quickly;
+// `make chaos` runs the full 10 s outage.
+func TestChaosSoak(t *testing.T) {
+	partition := 10 * time.Second
+	limit := 90 * time.Second
+	if testing.Short() {
+		partition = 2 * time.Second
+		limit = 45 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	healAt := time.Second + partition
+	t0 := time.Now()
+	chaos := fault.Wrap(net, fault.Config{
+		Seed:      42,
+		Drop:      0.30,
+		Corrupt:   0.20,
+		Duplicate: 0.05,
+		Reorder:   0.05,
+		Kill:      0.002,
+		DialFail:  0.10,
+		DelayMax:  time.Millisecond,
+		Schedule: []fault.Event{
+			{At: time.Second, Partition: true},
+			{At: healAt, Partition: false},
+		},
+	})
+
+	// Redial must stay fast after the partition heals: cap the backoff
+	// well under the outage length so reconnection is not the long pole.
+	bo := transport.Backoff{Min: 2 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: -1}
+
+	seedCfg := fastCfg(1, chaos)
+	seedCfg.ListenAddr = "seed"
+	seedCfg.InternetAccess = true
+	seedCfg.PublishFiles = 1
+	seedCfg.FileSize = 64 * 1024 // 16 pieces at 4 KB: several hellos' worth
+	seedCfg.PieceSize = 4 * 1024
+	seedCfg.PiecesPerHello = 4
+	seedCfg.Backoff = bo
+	seed, err := New(seedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leechCfg := fastCfg(2, chaos)
+	leechCfg.PeerAddrs = []string{"seed"}
+	leechCfg.Queries = []string{"f0"}
+	leechCfg.RetryBudget = 64 // a long partition burns stall retries
+	leechCfg.Backoff = bo
+	leech, err := New(leechCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start(ctx, seed)
+	start(ctx, leech)
+
+	waitLong(t, limit, func() bool { return leech.Completed(metadata.URIFor(0)) },
+		"download completion under chaos")
+
+	// Hold the line until the outage window has fully passed: even if
+	// the transfer won its race with the partition, the hello beacons
+	// keep running into it, so the injector's partition counters always
+	// see traffic before we sample them.
+	if rest := time.Until(t0.Add(healAt + 500*time.Millisecond)); rest > 0 {
+		time.Sleep(rest)
+	}
+
+	// The injector really did its job.
+	fs := chaos.Stats()
+	if fs.Dropped == 0 {
+		t.Fatalf("no drops injected: %+v", fs)
+	}
+	if fs.CorruptDelivered+fs.CorruptDropped+fs.CorruptKilled == 0 {
+		t.Fatalf("no corruption injected: %+v", fs)
+	}
+	if fs.PartitionDropped+fs.DialsBlocked == 0 {
+		t.Fatalf("partition never touched traffic: %+v", fs)
+	}
+
+	// And the healing paths it was meant to exercise saw real work.
+	ls, ss := leech.Stats(), seed.Stats()
+	if ls.PiecesVerified < 16 {
+		t.Fatalf("leech verified %d pieces, want all 16", ls.PiecesVerified)
+	}
+	if ss.PiecesResent == 0 && ls.PiecesDuplicate == 0 {
+		t.Fatalf("no resends or duplicates despite 30%% drop: seed %+v leech %+v", ss, ls)
+	}
+	if ls.PiecesRejected+ls.BadSignatures+ls.PiecesDroppedNoMetadata == 0 &&
+		fs.CorruptDelivered > 0 {
+		t.Logf("note: %d corrupt frames delivered but none reached verification", fs.CorruptDelivered)
+	}
+
+	// After the storm the daemons settle back to healthy.
+	waitLong(t, 30*time.Second, func() bool { return leech.Health().Status == "ok" },
+		"leech to report healthy after the partition heals")
+}

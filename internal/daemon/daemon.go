@@ -54,6 +54,15 @@ const (
 	DefaultTTL = 3 * simtime.Day
 	// DefaultFileSize gives 3 pieces at the paper's 256 KB piece size.
 	DefaultFileSize = 600 * 1024
+	// DefaultRetryBudget bounds out-of-band stall re-drives per
+	// download; past it the daemon leans on the regular beacon alone.
+	DefaultRetryBudget = 16
+	// DefaultQuarantineThreshold is how many bad signatures a peer gets
+	// away with before quarantine.
+	DefaultQuarantineThreshold = 5
+	// maxQuarantineDoublings caps quarantine growth at
+	// 2^maxQuarantineDoublings × QuarantineBase.
+	maxQuarantineDoublings = 3
 	// outboxLen bounds queued outgoing messages; overflow drops.
 	outboxLen = 256
 )
@@ -94,6 +103,34 @@ type Config struct {
 	// the protocol's 1 s / 5 s).
 	HelloInterval  time.Duration
 	LivenessWindow time.Duration
+	// HandshakeTimeout bounds the wait for a new connection's first
+	// hello (default: the liveness window). A partitioned or black-holed
+	// link fails its handshake within this deadline and falls back to
+	// redial, instead of pinning the only session slot while the outage
+	// lasts.
+	HandshakeTimeout time.Duration
+	// ResendAfter is the per-piece exchange deadline: a piece pushed to
+	// a peer that keeps advertising the download becomes eligible for
+	// resend once this long has passed without the peer completing
+	// (default 2× the liveness window). This is the loss-recovery path:
+	// a dropped or corrupted piece is re-served after one deadline
+	// instead of waiting for a full catalog sweep.
+	ResendAfter time.Duration
+	// StallTimeout is the download-side deadline: a wanted file that
+	// gains no new piece for this long counts as stalled and triggers
+	// an out-of-band hello to every live peer (default 3× the liveness
+	// window).
+	StallTimeout time.Duration
+	// RetryBudget bounds stall re-drives per download (default
+	// DefaultRetryBudget); the spend is surfaced in Stats and /healthz.
+	RetryBudget int
+	// QuarantineThreshold and QuarantineBase shape sender quarantine:
+	// a peer reaching the threshold of bad signatures is ignored for
+	// QuarantineBase, doubling per repeat offense (capped at 8×) and
+	// decaying back to clean while it behaves. Defaults:
+	// DefaultQuarantineThreshold and the liveness window.
+	QuarantineThreshold int
+	QuarantineBase      time.Duration
 	// Backoff shapes outbound redial.
 	Backoff transport.Backoff
 	// Logf, when set, receives progress lines.
@@ -102,26 +139,57 @@ type Config struct {
 
 // Stats is the daemon's observable state, served by the HTTP endpoint.
 type Stats struct {
-	ID             trace.NodeID    `json:"id"`
-	UptimeSeconds  float64         `json:"uptime_seconds"`
-	InternetAccess bool            `json:"internet_access"`
-	CatalogFiles   int             `json:"catalog_files"`
-	MetadataStored int             `json:"metadata_stored"`
-	Downloading    []string        `json:"downloading"`
-	Completed      map[string]bool `json:"completed"`
-	PiecesVerified uint64          `json:"pieces_verified"`
-	PiecesRejected uint64          `json:"pieces_rejected"`
-	PiecesDroppedNoMetadata uint64 `json:"pieces_dropped_no_metadata"`
-	BadSignatures  uint64          `json:"bad_signatures"`
-	OutboxDrops    uint64          `json:"outbox_drops"`
-	Peers          []peer.Info     `json:"peers"`
-	Transport      peer.Stats      `json:"transport"`
+	ID                      trace.NodeID    `json:"id"`
+	UptimeSeconds           float64         `json:"uptime_seconds"`
+	InternetAccess          bool            `json:"internet_access"`
+	CatalogFiles            int             `json:"catalog_files"`
+	MetadataStored          int             `json:"metadata_stored"`
+	Downloading             []string        `json:"downloading"`
+	Completed               map[string]bool `json:"completed"`
+	PiecesVerified          uint64          `json:"pieces_verified"`
+	PiecesRejected          uint64          `json:"pieces_rejected"`
+	PiecesDuplicate         uint64          `json:"pieces_duplicate"`
+	PiecesResent            uint64          `json:"pieces_resent"`
+	PiecesDroppedNoMetadata uint64          `json:"pieces_dropped_no_metadata"`
+	BadSignatures           uint64          `json:"bad_signatures"`
+	OutboxDrops             uint64          `json:"outbox_drops"`
+	// Stall re-drive accounting: Stalls counts stall detections,
+	// Redrives the out-of-band hellos spent on them, Retries the
+	// per-download budget spend against RetryBudget.
+	Stalls      uint64         `json:"stalls"`
+	Redrives    uint64         `json:"redrives"`
+	RetryBudget int            `json:"retry_budget"`
+	Retries     map[string]int `json:"retries,omitempty"`
+	// Quarantine accounting: peers currently ignored for repeated bad
+	// signatures and the messages dropped on that ground.
+	Quarantined     []trace.NodeID `json:"quarantined,omitempty"`
+	QuarantineDrops uint64         `json:"quarantine_drops"`
+	Peers           []peer.Info    `json:"peers"`
+	Transport       peer.Stats     `json:"transport"`
 }
 
-// sentState tracks what this daemon already pushed to one peer, so a
-// 1-per-second hello does not retrigger the same pieces forever.
+// sentState tracks what this daemon already pushed to one peer and
+// when, so a 1-per-second hello does not retrigger the same pieces
+// forever — but a piece older than ResendAfter whose receiver still
+// advertises the download is assumed lost and becomes eligible again.
 type sentState struct {
-	pieces map[metadata.URI]map[int]bool
+	pieces map[metadata.URI]map[int]time.Time
+}
+
+// downloadState tracks one wanted file's progress for stall detection.
+type downloadState struct {
+	lastProgress time.Time
+	retries      int
+}
+
+// offender tracks one peer's bad-signature record. A peer reaching the
+// quarantine threshold is ignored until the deadline; strikes double
+// the penalty per repeat offense and decay away while the peer behaves.
+type offender struct {
+	badSigs int
+	strikes int
+	until   time.Time
+	lastBad time.Time
 }
 
 type outMsg struct {
@@ -140,13 +208,18 @@ type Daemon struct {
 	listenMu sync.Mutex
 	listener transport.Listener
 
-	mu        sync.Mutex
-	node      *node.Node
-	sent      map[trace.NodeID]*sentState
-	completed map[metadata.URI]bool
-	counters  struct {
+	mu         sync.Mutex
+	node       *node.Node
+	sent       map[trace.NodeID]*sentState
+	completed  map[metadata.URI]bool
+	downloads  map[metadata.URI]*downloadState
+	offenders  map[trace.NodeID]*offender
+	lastPeerAt time.Time
+	counters   struct {
 		piecesVerified, piecesRejected, piecesNoMeta uint64
+		piecesDuplicate, piecesResent                uint64
 		badSignatures, outboxDrops                   uint64
+		stalls, redrives, quarantineDrops            uint64
 	}
 }
 
@@ -176,6 +249,30 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.TTL <= 0 {
 		cfg.TTL = DefaultTTL
 	}
+	if cfg.HelloInterval <= 0 {
+		cfg.HelloInterval = peer.DefaultHelloInterval
+	}
+	if cfg.LivenessWindow <= 0 {
+		cfg.LivenessWindow = peer.DefaultLivenessWindow
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = cfg.LivenessWindow
+	}
+	if cfg.ResendAfter <= 0 {
+		cfg.ResendAfter = 2 * cfg.LivenessWindow
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 3 * cfg.LivenessWindow
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.QuarantineThreshold <= 0 {
+		cfg.QuarantineThreshold = DefaultQuarantineThreshold
+	}
+	if cfg.QuarantineBase <= 0 {
+		cfg.QuarantineBase = cfg.LivenessWindow
+	}
 
 	d := &Daemon{
 		cfg:       cfg,
@@ -184,6 +281,8 @@ func New(cfg Config) (*Daemon, error) {
 		node:      node.New(cfg.ID, cfg.InternetAccess),
 		sent:      make(map[trace.NodeID]*sentState),
 		completed: make(map[metadata.URI]bool),
+		downloads: make(map[metadata.URI]*downloadState),
+		offenders: make(map[trace.NodeID]*offender),
 	}
 	if cfg.InternetAccess {
 		cat, err := server.NewSafe(cfg.InternetNodes)
@@ -201,13 +300,14 @@ func New(cfg Config) (*Daemon, error) {
 		d.node.AddQuery(q, d.now().Add(cfg.TTL))
 	}
 	d.mgr = peer.NewManager(peer.Config{
-		Self:           cfg.ID,
-		Hello:          d.helloContent,
-		Handler:        (*handler)(d),
-		HelloInterval:  cfg.HelloInterval,
-		LivenessWindow: cfg.LivenessWindow,
-		Backoff:        cfg.Backoff,
-		Logf:           cfg.Logf,
+		Self:             cfg.ID,
+		Hello:            d.helloContent,
+		Handler:          (*handler)(d),
+		HelloInterval:    cfg.HelloInterval,
+		LivenessWindow:   cfg.LivenessWindow,
+		HandshakeTimeout: cfg.HandshakeTimeout,
+		Backoff:          cfg.Backoff,
+		Logf:             cfg.Logf,
 	})
 	return d, nil
 }
@@ -340,37 +440,90 @@ func (d *Daemon) sendLoop(ctx context.Context) {
 	}
 }
 
-// sweepLoop expires node/catalog state and forgets send tracking for
-// vanished peers.
+// sweepLoop ticks sweepOnce at the hello interval.
 func (d *Daemon) sweepLoop(ctx context.Context) {
-	interval := d.cfg.HelloInterval
-	if interval <= 0 {
-		interval = peer.DefaultHelloInterval
-	}
-	t := time.NewTicker(interval)
+	t := time.NewTicker(d.cfg.HelloInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			now := d.now()
-			live := make(map[trace.NodeID]bool)
-			for _, id := range d.mgr.Peers() {
-				live[id] = true
-			}
-			d.mu.Lock()
-			d.node.Expire(now)
-			for id := range d.sent {
-				if !live[id] {
-					delete(d.sent, id)
-				}
-			}
-			d.mu.Unlock()
-			if d.catalog != nil {
-				d.catalog.Expire(now)
-			}
+			d.sweepOnce(ctx)
 		case <-ctx.Done():
 			return
 		}
+	}
+}
+
+// sweepOnce expires node/catalog state, forgets send tracking for
+// vanished peers, decays quarantine strikes of peers that have since
+// behaved, and re-drives stalled downloads: a wanted file with no new
+// piece inside StallTimeout spends one unit of its retry budget on an
+// immediate out-of-band hello to every live peer, which prompts any
+// holder to re-serve (its per-piece ResendAfter deadlines decide what).
+func (d *Daemon) sweepOnce(ctx context.Context) {
+	now := d.now()
+	wall := time.Now()
+	live := make(map[trace.NodeID]bool)
+	for _, id := range d.mgr.Peers() {
+		live[id] = true
+	}
+	nudge := false
+	d.mu.Lock()
+	if len(live) > 0 {
+		d.lastPeerAt = wall
+	}
+	d.node.Expire(now)
+	for id := range d.sent {
+		if !live[id] {
+			delete(d.sent, id)
+		}
+	}
+	for uri, ds := range d.downloads {
+		if d.completed[uri] {
+			delete(d.downloads, uri)
+		} else if ds.lastProgress.IsZero() {
+			ds.lastProgress = wall
+		}
+	}
+	for _, uri := range d.node.WantedIncomplete() {
+		ds := d.downloads[uri]
+		if ds == nil {
+			ds = &downloadState{lastProgress: wall}
+			d.downloads[uri] = ds
+			continue
+		}
+		if wall.Sub(ds.lastProgress) < d.cfg.StallTimeout {
+			continue
+		}
+		d.counters.stalls++
+		ds.lastProgress = wall // re-arm the stall timer
+		if ds.retries >= d.cfg.RetryBudget {
+			continue // budget spent: the regular beacon keeps trying
+		}
+		ds.retries++
+		d.counters.redrives++
+		nudge = true
+	}
+	for id, off := range d.offenders {
+		if wall.Sub(off.lastBad) > 4*d.cfg.QuarantineBase && wall.After(off.until) {
+			if off.strikes > 0 {
+				off.strikes--
+			} else {
+				off.badSigs = 0
+			}
+			off.lastBad = wall
+			if off.strikes <= 0 && off.badSigs == 0 {
+				delete(d.offenders, id)
+			}
+		}
+	}
+	d.mu.Unlock()
+	if d.catalog != nil {
+		d.catalog.Expire(now)
+	}
+	if nudge {
+		d.logf("daemon %d: download stalled; re-driving live peers", d.cfg.ID)
+		d.mgr.Broadcast(ctx)
 	}
 }
 
@@ -383,18 +536,25 @@ func (d *Daemon) Completed(uri metadata.URI) bool {
 
 // Stats snapshots the daemon for the HTTP endpoint and tests.
 func (d *Daemon) Stats() Stats {
+	wall := time.Now()
 	d.mu.Lock()
 	st := Stats{
-		ID:             d.cfg.ID,
-		UptimeSeconds:  time.Since(d.epoch).Seconds(),
-		InternetAccess: d.cfg.InternetAccess,
-		MetadataStored: len(d.node.MetadataStore()),
-		Completed:      make(map[string]bool, len(d.completed)),
-		PiecesVerified: d.counters.piecesVerified,
-		PiecesRejected: d.counters.piecesRejected,
+		ID:                      d.cfg.ID,
+		UptimeSeconds:           time.Since(d.epoch).Seconds(),
+		InternetAccess:          d.cfg.InternetAccess,
+		MetadataStored:          len(d.node.MetadataStore()),
+		Completed:               make(map[string]bool, len(d.completed)),
+		PiecesVerified:          d.counters.piecesVerified,
+		PiecesRejected:          d.counters.piecesRejected,
+		PiecesDuplicate:         d.counters.piecesDuplicate,
+		PiecesResent:            d.counters.piecesResent,
 		PiecesDroppedNoMetadata: d.counters.piecesNoMeta,
-		BadSignatures:  d.counters.badSignatures,
-		OutboxDrops:    d.counters.outboxDrops,
+		BadSignatures:           d.counters.badSignatures,
+		OutboxDrops:             d.counters.outboxDrops,
+		Stalls:                  d.counters.stalls,
+		Redrives:                d.counters.redrives,
+		RetryBudget:             d.cfg.RetryBudget,
+		QuarantineDrops:         d.counters.quarantineDrops,
 	}
 	for _, uri := range d.node.WantedIncomplete() {
 		st.Downloading = append(st.Downloading, string(uri))
@@ -402,6 +562,20 @@ func (d *Daemon) Stats() Stats {
 	for uri := range d.completed {
 		st.Completed[string(uri)] = true
 	}
+	for uri, ds := range d.downloads {
+		if ds.retries > 0 {
+			if st.Retries == nil {
+				st.Retries = make(map[string]int)
+			}
+			st.Retries[string(uri)] = ds.retries
+		}
+	}
+	for id, off := range d.offenders {
+		if wall.Before(off.until) {
+			st.Quarantined = append(st.Quarantined, id)
+		}
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i] < st.Quarantined[j] })
 	d.mu.Unlock()
 	if d.catalog != nil {
 		st.CatalogFiles = d.catalog.Len()
@@ -425,9 +599,26 @@ func (h *handler) HandlePiece(from trace.NodeID, p *wire.Piece) {
 	(*Daemon)(h).onPiece(from, p)
 }
 
+// quarantined reports (and counts) whether a message from the peer
+// must be dropped because the sender is serving a bad-signature
+// quarantine.
+func (d *Daemon) quarantined(from trace.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off := d.offenders[from]
+	if off == nil || !time.Now().Before(off.until) {
+		return false
+	}
+	d.counters.quarantineDrops++
+	return true
+}
+
 // onHello is the live protocol's driver: answer the peer's queries with
 // metadata, and feed its advertised downloads with pieces.
 func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
+	if d.quarantined(from) {
+		return
+	}
 	now := d.now()
 
 	// The peer set is this node's "frequent contacts" in the live
@@ -479,9 +670,11 @@ func (d *Daemon) answerQuery(now simtime.Time, from trace.NodeID, q string) []wi
 }
 
 // servePieces streams up to PiecesPerHello pieces of uri that this node
-// can regenerate and has not yet pushed to the peer. When every piece
-// has been pushed but the peer still advertises the download, tracking
-// resets — the live retransmit path for lost frames.
+// can regenerate and has not yet pushed to the peer — plus any piece
+// whose push is older than ResendAfter while the peer still advertises
+// the download: the advertisement is the implicit NACK, and the
+// per-piece deadline is the live retransmit path for lost or corrupted
+// frames.
 func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
 	now := d.now()
 	var rec *metadata.Metadata
@@ -509,42 +702,42 @@ func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
 		return nil
 	}
 
+	wall := time.Now()
 	d.mu.Lock()
 	st := d.sent[from]
 	if st == nil {
-		st = &sentState{pieces: make(map[metadata.URI]map[int]bool)}
+		st = &sentState{pieces: make(map[metadata.URI]map[int]time.Time)}
 		d.sent[from] = st
 	}
 	sent := st.pieces[uri]
 	if sent == nil {
-		sent = make(map[int]bool)
+		sent = make(map[int]time.Time)
 		st.pieces[uri] = sent
 	}
 	total := rec.NumPieces()
 	var idxs []int
+	resent := 0
 	for i := 0; i < total && len(idxs) < d.cfg.PiecesPerHello; i++ {
-		if !sent[i] && canServe(i) {
-			idxs = append(idxs, i)
+		if !canServe(i) {
+			continue
 		}
+		at, pushed := sent[i]
+		if pushed && wall.Sub(at) < d.cfg.ResendAfter {
+			continue
+		}
+		if pushed {
+			resent++
+		}
+		idxs = append(idxs, i)
 	}
 	if len(idxs) == 0 {
-		// Everything pushed, peer still wants it: assume loss, resend.
-		allSent := true
-		for i := 0; i < total; i++ {
-			if canServe(i) && !sent[i] {
-				allSent = false
-				break
-			}
-		}
-		if allSent && len(sent) > 0 {
-			st.pieces[uri] = make(map[int]bool)
-		}
 		d.mu.Unlock()
 		return nil
 	}
 	for _, i := range idxs {
-		sent[i] = true
+		sent[i] = wall
 	}
+	d.counters.piecesResent += uint64(resent)
 	d.mu.Unlock()
 
 	out := make([]wire.Msg, 0, len(idxs))
@@ -563,14 +756,17 @@ func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
 // of this node's own queries and FetchMatching is on, the file is
 // selected for download.
 func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
+	if d.quarantined(from) {
+		return
+	}
 	now := d.now()
 	rec := m.Record.Clone()
 	if err := rec.Validate(); err != nil {
-		d.bumpBadSignature()
+		d.bumpBadSignature(from)
 		return
 	}
 	if !rec.Verify(workload.KeyFor(rec.Publisher)) {
-		d.bumpBadSignature()
+		d.bumpBadSignature(from)
 		return
 	}
 	d.mu.Lock()
@@ -582,6 +778,9 @@ func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
 				if ps := d.node.Pieces(rec.URI); ps == nil || !ps.Complete() {
 					d.node.Select(rec.URI)
 					selected = true
+					if d.downloads[rec.URI] == nil {
+						d.downloads[rec.URI] = &downloadState{lastProgress: time.Now()}
+					}
 				}
 				break
 			}
@@ -594,15 +793,47 @@ func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
 	}
 }
 
-func (d *Daemon) bumpBadSignature() {
+// bumpBadSignature records a failed record verification from a peer
+// and escalates to quarantine when the peer keeps doing it: at
+// QuarantineThreshold bad signatures the peer is ignored for
+// QuarantineBase, doubling per repeated offense up to 8×. The strike
+// count decays in sweepOnce while the peer behaves, so a link that was
+// merely corrupting in flight earns its way back to full service.
+func (d *Daemon) bumpBadSignature(from trace.NodeID) {
+	wall := time.Now()
+	var penalty time.Duration
 	d.mu.Lock()
 	d.counters.badSignatures++
+	off := d.offenders[from]
+	if off == nil {
+		off = &offender{}
+		d.offenders[from] = off
+	}
+	off.badSigs++
+	off.lastBad = wall
+	if off.badSigs >= d.cfg.QuarantineThreshold {
+		off.badSigs = 0
+		off.strikes++
+		doublings := off.strikes - 1
+		if doublings > maxQuarantineDoublings {
+			doublings = maxQuarantineDoublings
+		}
+		penalty = d.cfg.QuarantineBase * (1 << doublings)
+		off.until = wall.Add(penalty)
+	}
 	d.mu.Unlock()
+	if penalty > 0 {
+		d.logf("daemon %d: quarantining node %d for %v (repeated bad signatures)",
+			d.cfg.ID, from, penalty)
+	}
 }
 
 // onPiece verifies a piece against the stored record and stores it;
 // the piggybacked record (MBT-QM) is processed first when present.
 func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
+	if d.quarantined(from) {
+		return
+	}
 	if p.Piggyback != nil {
 		d.onMetadata(from, p.Piggyback)
 	}
@@ -622,6 +853,14 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 	added := d.node.AddPiece(p.URI, p.Index, sm.Meta.NumPieces())
 	if added {
 		d.counters.piecesVerified++
+		if ds := d.downloads[p.URI]; ds != nil {
+			ds.lastProgress = time.Now()
+		}
+	} else {
+		// A duplicate of a piece already held: the injector's Duplicate
+		// fault and the resend deadline both produce these; dedup is
+		// free because AddPiece is idempotent.
+		d.counters.piecesDuplicate++
 	}
 	justDone := added && d.node.HasFullFile(p.URI) && !d.completed[p.URI]
 	if justDone {

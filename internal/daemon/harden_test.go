@@ -1,0 +1,286 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// bench builds a daemon whose handlers and sweeps are driven by hand —
+// Run is never called, so there are no live sessions or goroutines.
+func bench(t *testing.T, mutate func(*Config)) *Daemon {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	cfg := fastCfg(1, net)
+	cfg.ListenAddr = "bench"
+	cfg.Queries = []string{"f0"}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// feedMetadata hands the daemon a valid record for file 0 from the
+// given peer; with FetchMatching on it selects the download.
+func feedMetadata(t *testing.T, d *Daemon, from trace.NodeID) *metadata.Metadata {
+	t.Helper()
+	rec := d.syntheticFile(0)
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *rec})
+	if got := d.Stats().MetadataStored; got != 1 {
+		t.Fatalf("metadata stored = %d after feeding a valid record", got)
+	}
+	return rec
+}
+
+func pieceMsg(rec *metadata.Metadata, i int) *wire.Piece {
+	return &wire.Piece{
+		URI:   rec.URI,
+		Index: i,
+		Total: rec.NumPieces(),
+		Data:  metadata.SyntheticPiece(rec.URI, i, rec.PieceLen(i)),
+	}
+}
+
+// TestServePiecesUnknownURI: a hello advertising a download this node
+// knows nothing about must produce no pieces (and no tracking state).
+func TestServePiecesUnknownURI(t *testing.T) {
+	d := bench(t, nil)
+	if out := d.servePieces(2, metadata.URI("dtn://files/404")); out != nil {
+		t.Fatalf("served %d pieces for an unknown URI", len(out))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st := d.sent[2]; st != nil && len(st.pieces) != 0 {
+		t.Fatalf("unknown URI left send tracking behind: %+v", st.pieces)
+	}
+}
+
+// TestEnqueueOverflow fills the outbox with no send loop draining it;
+// the overflow message must be dropped and counted, not block.
+func TestEnqueueOverflow(t *testing.T) {
+	d := bench(t, nil)
+	for i := 0; i < cap(d.outbox); i++ {
+		d.enqueue(2, &wire.Hello{From: 1})
+	}
+	if got := d.Stats().OutboxDrops; got != 0 {
+		t.Fatalf("OutboxDrops = %d before overflow", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.enqueue(2, &wire.Hello{From: 1})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue blocked on a full outbox")
+	}
+	if got := d.Stats().OutboxDrops; got != 1 {
+		t.Fatalf("OutboxDrops = %d, want 1", got)
+	}
+}
+
+// TestSweepCleansVanishedState: send tracking for peers that are gone
+// and download tracking for completed files must not leak.
+func TestSweepCleansVanishedState(t *testing.T) {
+	d := bench(t, nil)
+	uri := metadata.URIFor(0)
+	d.mu.Lock()
+	d.sent[7] = &sentState{pieces: map[metadata.URI]map[int]time.Time{
+		uri: {0: time.Now()},
+	}}
+	d.completed[uri] = true
+	d.downloads[uri] = &downloadState{lastProgress: time.Now()}
+	d.mu.Unlock()
+
+	d.sweepOnce(context.Background())
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.sent) != 0 {
+		t.Fatalf("send tracking for vanished peer survived the sweep: %v", d.sent)
+	}
+	if len(d.downloads) != 0 {
+		t.Fatalf("download tracking for completed file survived the sweep: %v", d.downloads)
+	}
+}
+
+// TestStallRedriveBudget: a download making no progress triggers stall
+// re-drives only up to the retry budget; stalls keep being counted past
+// it but no more budget is spent.
+func TestStallRedriveBudget(t *testing.T) {
+	d := bench(t, func(c *Config) {
+		c.StallTimeout = time.Millisecond
+		c.RetryBudget = 2
+	})
+	feedMetadata(t, d, 5)
+	if got := d.Stats().Downloading; len(got) != 1 {
+		t.Fatalf("downloading = %v, want the selected file", got)
+	}
+
+	ctx := context.Background()
+	d.sweepOnce(ctx) // creates the download's stall tracking
+	for i := 0; i < 5; i++ {
+		time.Sleep(3 * time.Millisecond) // let the stall timeout lapse
+		d.sweepOnce(ctx)
+	}
+	st := d.Stats()
+	if st.Stalls < 3 {
+		t.Fatalf("Stalls = %d, want >= 3 (stall detection kept running)", st.Stalls)
+	}
+	if st.Redrives != 2 {
+		t.Fatalf("Redrives = %d, want exactly the budget of 2", st.Redrives)
+	}
+	if got := st.Retries[string(metadata.URIFor(0))]; got != 2 {
+		t.Fatalf("Retries[f0] = %d, want 2", got)
+	}
+	if st.RetryBudget != 2 {
+		t.Fatalf("RetryBudget = %d, want 2", st.RetryBudget)
+	}
+}
+
+// TestDuplicatePieceDeduped: the same verified piece delivered twice
+// (duplication fault or resend race) is stored once and counted as a
+// duplicate.
+func TestDuplicatePieceDeduped(t *testing.T) {
+	d := bench(t, nil)
+	rec := feedMetadata(t, d, 5)
+	p := pieceMsg(rec, 0)
+	d.onPiece(5, p)
+	d.onPiece(5, p)
+	st := d.Stats()
+	if st.PiecesVerified != 1 || st.PiecesDuplicate != 1 {
+		t.Fatalf("verified=%d duplicate=%d, want 1/1", st.PiecesVerified, st.PiecesDuplicate)
+	}
+}
+
+// TestQuarantineEscalationAndDecay: repeated bad signatures quarantine
+// the sender (messages dropped, penalty doubling per strike), and the
+// record decays back to clean while the peer behaves.
+func TestQuarantineEscalationAndDecay(t *testing.T) {
+	d := bench(t, func(c *Config) {
+		c.QuarantineThreshold = 2
+		c.QuarantineBase = time.Hour // long enough to observe deterministically
+	})
+	bad := d.syntheticFile(0)
+	bad.Signature[0] ^= 1
+
+	from := trace.NodeID(9)
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *bad})
+	if d.quarantined(from) {
+		t.Fatal("quarantined after a single bad signature")
+	}
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *bad})
+	if !d.quarantined(from) {
+		t.Fatal("not quarantined at the threshold")
+	}
+	st := d.Stats()
+	if st.BadSignatures != 2 || st.MetadataStored != 0 {
+		t.Fatalf("badSigs=%d stored=%d, want 2/0", st.BadSignatures, st.MetadataStored)
+	}
+	if len(st.Quarantined) != 1 || st.Quarantined[0] != from {
+		t.Fatalf("Quarantined = %v, want [%d]", st.Quarantined, from)
+	}
+	if st.QuarantineDrops == 0 {
+		t.Fatal("quarantine checks not counted as drops")
+	}
+
+	// A quarantined peer's traffic is ignored wholesale.
+	good := d.syntheticFile(0)
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *good})
+	if got := d.Stats().MetadataStored; got != 0 {
+		t.Fatalf("quarantined peer's record was stored (%d)", got)
+	}
+
+	// Second offense doubles the penalty.
+	d.mu.Lock()
+	off := d.offenders[from]
+	firstUntil := off.until
+	off.until = time.Now().Add(-time.Second) // penalty served
+	d.mu.Unlock()
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *bad})
+	d.onMetadata(from, &wire.Metadata{Popularity: 0.5, Record: *bad})
+	d.mu.Lock()
+	if off.strikes != 2 {
+		t.Fatalf("strikes = %d after second offense, want 2", off.strikes)
+	}
+	secondPenalty := time.Until(off.until)
+	d.mu.Unlock()
+	if firstPenalty := time.Until(firstUntil) + time.Second; secondPenalty < firstPenalty {
+		t.Fatalf("second penalty %v not escalated beyond first %v", secondPenalty, firstPenalty)
+	}
+
+	// Decay: with the penalty served and a long clean stretch, sweeps
+	// walk the strikes back down and eventually forget the offender.
+	for i := 0; i < 10; i++ {
+		d.mu.Lock()
+		off.until = time.Now().Add(-time.Second)
+		off.lastBad = time.Now().Add(-5 * d.cfg.QuarantineBase)
+		d.mu.Unlock()
+		d.sweepOnce(context.Background())
+	}
+	d.mu.Lock()
+	left := len(d.offenders)
+	d.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d offender records survived decay", left)
+	}
+	if d.quarantined(from) {
+		t.Fatal("still quarantined after decay")
+	}
+}
+
+// TestHealthzDegraded: a daemon alone past its liveness window answers
+// /healthz with 503 and a reason; saturating the outbox adds another.
+func TestHealthzDegraded(t *testing.T) {
+	d := bench(t, func(c *Config) {
+		c.LivenessWindow = 10 * time.Millisecond
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	time.Sleep(30 * time.Millisecond) // outlive the liveness window, peerless
+
+	get := func() (int, Health) {
+		t.Helper()
+		r, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var h Health
+		if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode, h
+	}
+
+	code, h := get()
+	if code != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("healthz = %d %q, want 503 degraded", code, h.Status)
+	}
+	if len(h.Reasons) != 1 {
+		t.Fatalf("reasons = %v, want exactly the no-live-peers reason", h.Reasons)
+	}
+
+	for i := 0; i < cap(d.outbox); i++ {
+		d.enqueue(2, &wire.Hello{From: 1})
+	}
+	code, h = get()
+	if code != http.StatusServiceUnavailable || len(h.Reasons) != 2 {
+		t.Fatalf("healthz = %d reasons=%v, want 503 with both reasons", code, h.Reasons)
+	}
+}

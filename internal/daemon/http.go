@@ -2,32 +2,89 @@ package daemon
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/trace"
 )
+
+// Health is the liveness verdict served by /healthz. OK is false when
+// the daemon is degraded; Reasons says why.
+type Health struct {
+	Status        string       `json:"status"`
+	Reasons       []string     `json:"reasons,omitempty"`
+	ID            trace.NodeID `json:"id"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Peers         int          `json:"peers"`
+	OutboxLen     int          `json:"outbox_len"`
+	OutboxCap     int          `json:"outbox_cap"`
+}
+
+// Health evaluates the daemon's liveness: degraded when it has had zero
+// live peers for longer than the liveness window (it cannot make
+// protocol progress alone) or when the outbox is saturated (handlers
+// are generating traffic faster than any link drains it, so messages
+// are being dropped on the floor).
+func (d *Daemon) Health() Health {
+	peers := len(d.mgr.Peers())
+	d.mu.Lock()
+	lastPeer := d.lastPeerAt
+	d.mu.Unlock()
+	if lastPeer.IsZero() {
+		lastPeer = d.epoch
+	}
+	h := Health{
+		Status:        "ok",
+		ID:            d.cfg.ID,
+		UptimeSeconds: time.Since(d.epoch).Seconds(),
+		Peers:         peers,
+		OutboxLen:     len(d.outbox),
+		OutboxCap:     cap(d.outbox),
+	}
+	if peers == 0 {
+		if alone := time.Since(lastPeer); alone > d.cfg.LivenessWindow {
+			h.Reasons = append(h.Reasons,
+				fmt.Sprintf("no live peers for %s (liveness window %s)",
+					alone.Truncate(time.Millisecond), d.cfg.LivenessWindow))
+		}
+	}
+	if h.OutboxLen >= h.OutboxCap {
+		h.Reasons = append(h.Reasons,
+			fmt.Sprintf("outbox saturated (%d/%d queued, dropping)", h.OutboxLen, h.OutboxCap))
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
 
 // Handler returns the daemon's HTTP surface:
 //
-//	GET /healthz — liveness: {"status":"ok", ...} with peer count
+//	GET /healthz — liveness: 200 {"status":"ok", ...} while healthy,
+//	               503 {"status":"degraded","reasons":[...]} when the
+//	               daemon has no live peers past the liveness window or
+//	               its outbox is saturated
 //	GET /stats   — the full Stats snapshot
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
-			"status":         "ok",
-			"id":             d.cfg.ID,
-			"uptime_seconds": time.Since(d.epoch).Seconds(),
-			"peers":          len(d.mgr.Peers()),
-		})
+		h := d.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, d.Stats())
+		writeJSON(w, http.StatusOK, d.Stats())
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

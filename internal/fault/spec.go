@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the compact fault spec used by `mbtd -fault`: a
+// comma-separated list of key=value pairs. Keys:
+//
+//	seed=N            RNG seed (default 1)
+//	drop=F            per-message drop probability
+//	corrupt=F         per-message corruption probability
+//	dup=F             per-message duplication probability
+//	reorder=F         per-message reorder probability
+//	kill=F            per-message abrupt-kill probability
+//	dialfail=F        per-dial failure probability
+//	delay=D           max per-message extra latency (e.g. 50ms)
+//	delaymin=D        min per-message extra latency
+//	partition=D1-D2   one scripted partition from offset D1 to D2
+//
+// Example: "seed=7,drop=0.3,corrupt=0.2,delay=50ms,partition=30s-40s".
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{Seed: 1}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			cfg.Drop, err = parseRate(val)
+		case "corrupt":
+			cfg.Corrupt, err = parseRate(val)
+		case "dup":
+			cfg.Duplicate, err = parseRate(val)
+		case "reorder":
+			cfg.Reorder, err = parseRate(val)
+		case "kill":
+			cfg.Kill, err = parseRate(val)
+		case "dialfail":
+			cfg.DialFail, err = parseRate(val)
+		case "delay":
+			cfg.DelayMax, err = time.ParseDuration(val)
+		case "delaymin":
+			cfg.DelayMin, err = time.ParseDuration(val)
+		case "partition":
+			from, to, ok := strings.Cut(val, "-")
+			if !ok {
+				return Config{}, fmt.Errorf("fault: partition wants D1-D2, got %q", val)
+			}
+			var start, end time.Duration
+			if start, err = time.ParseDuration(from); err == nil {
+				end, err = time.ParseDuration(to)
+			}
+			if err == nil && end <= start {
+				err = fmt.Errorf("end %v not after start %v", end, start)
+			}
+			if err == nil {
+				cfg.Schedule = append(cfg.Schedule,
+					Event{At: start, Partition: true},
+					Event{At: end, Partition: false})
+			}
+		default:
+			return Config{}, fmt.Errorf("fault: unknown key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: %s: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", f)
+	}
+	return f, nil
+}

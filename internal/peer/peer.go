@@ -69,6 +69,11 @@ type Config struct {
 	HelloInterval    time.Duration
 	LivenessWindow   time.Duration
 	HandshakeTimeout time.Duration
+	// FlapThreshold demotes flapping links: a session that dies younger
+	// than this counts as a flap, and Connect backs off harder for each
+	// consecutive flap instead of hammering an unstable address
+	// (default: the liveness window).
+	FlapThreshold time.Duration
 	// Backoff shapes Connect's redial schedule.
 	Backoff transport.Backoff
 	// Logf, when set, receives one line per connection event.
@@ -82,6 +87,9 @@ type Info struct {
 	Inbound   bool          `json:"inbound"`
 	LastHello time.Duration `json:"last_hello_ago"`
 	Sessions  int           `json:"sessions"`
+	// Flaps counts this peer's recent short-lived sessions; it decays
+	// to zero once the link holds steady.
+	Flaps int `json:"flaps"`
 }
 
 // Stats counts manager activity; all fields are cumulative.
@@ -98,6 +106,7 @@ type Stats struct {
 	Drops         uint64 `json:"drops"`
 	Expiries      uint64 `json:"expiries"`
 	HandshakeFail uint64 `json:"handshake_failures"`
+	Flaps         uint64 `json:"flaps"`
 }
 
 // ErrUnknownPeer reports a Send to a peer with no live session.
@@ -109,6 +118,13 @@ type session struct {
 	peer    trace.NodeID
 	conn    transport.Conn
 	inbound bool
+	started time.Time
+}
+
+// flapInfo tracks one peer's recent short-lived sessions.
+type flapInfo struct {
+	count int
+	last  time.Time
 }
 
 // Manager is the daemon's connection owner. Construct with NewManager.
@@ -119,6 +135,7 @@ type Manager struct {
 	nextSID   uint64
 	byPeer    map[trace.NodeID]map[uint64]*session
 	lastHello map[trace.NodeID]time.Time
+	flaps     map[trace.NodeID]*flapInfo
 	stats     Stats
 }
 
@@ -133,6 +150,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = DefaultHandshakeTimeout
 	}
+	if cfg.FlapThreshold <= 0 {
+		cfg.FlapThreshold = cfg.LivenessWindow
+	}
 	if cfg.Hello == nil {
 		cfg.Hello = func() ([]string, []metadata.URI) { return nil, nil }
 	}
@@ -140,6 +160,7 @@ func NewManager(cfg Config) *Manager {
 		cfg:       cfg,
 		byPeer:    make(map[trace.NodeID]map[uint64]*session),
 		lastHello: make(map[trace.NodeID]time.Time),
+		flaps:     make(map[trace.NodeID]*flapInfo),
 	}
 }
 
@@ -199,10 +220,19 @@ func (m *Manager) Serve(ctx context.Context, lis transport.Listener) error {
 }
 
 // Connect maintains an outbound link to addr: dial with backoff,
-// handshake, pump messages, and redial when the link drops. It returns
-// only when ctx ends.
+// handshake, pump messages, and redial when the link drops. A link
+// that flaps — sessions dying younger than FlapThreshold — is demoted:
+// each consecutive flap adds one more step of the backoff schedule
+// before the redial, so an unstable or hostile address cannot consume
+// the daemon in a reconnect storm. It returns only when ctx ends.
 func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr string) error {
 	first := true
+	consecFlaps := 0
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		conn, err := transport.DialBackoff(ctx, tr, addr, m.cfg.Backoff)
 		if err != nil {
@@ -216,11 +246,26 @@ func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr stri
 			m.addStat(func(s *Stats) { s.Reconnects++ })
 		}
 		first = false
+		started := time.Now()
 		m.runSession(ctx, conn, false)
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		m.logf("peer: link to %s dropped; redialing", addr)
+		if time.Since(started) < m.cfg.FlapThreshold {
+			consecFlaps++
+			delay := m.cfg.Backoff.Delay(consecFlaps - 1)
+			m.logf("peer: link to %s flapped (%d in a row); demoted, redialing in %v",
+				addr, consecFlaps, delay)
+			timer.Reset(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		} else {
+			consecFlaps = 0
+			m.logf("peer: link to %s dropped; redialing", addr)
+		}
 	}
 }
 
@@ -280,7 +325,7 @@ func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound boo
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextSID++
-	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound}
+	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound, started: time.Now()}
 	set := m.byPeer[peerID]
 	if set == nil {
 		set = make(map[uint64]*session)
@@ -291,8 +336,10 @@ func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound boo
 	return s
 }
 
-// unregister removes a dead session and closes its conn.
+// unregister removes a dead session and closes its conn, counting a
+// flap when the session died young.
 func (m *Manager) unregister(s *session) {
+	now := time.Now()
 	m.mu.Lock()
 	if set := m.byPeer[s.peer]; set != nil {
 		delete(set, s.sid)
@@ -300,6 +347,16 @@ func (m *Manager) unregister(s *session) {
 			delete(m.byPeer, s.peer)
 			delete(m.lastHello, s.peer)
 		}
+	}
+	if now.Sub(s.started) < m.cfg.FlapThreshold {
+		fi := m.flaps[s.peer]
+		if fi == nil {
+			fi = &flapInfo{}
+			m.flaps[s.peer] = fi
+		}
+		fi.count++
+		fi.last = now
+		m.stats.Flaps++
 	}
 	m.mu.Unlock()
 	s.conn.Close()
@@ -362,6 +419,11 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 	return nil
 }
 
+// Broadcast beacons an out-of-band hello to every live peer right now,
+// without waiting for the next tick — the daemon's re-drive nudge when
+// a download stalls.
+func (m *Manager) Broadcast(ctx context.Context) { m.broadcastHello(ctx) }
+
 // broadcastHello beacons to every live peer (once per peer, even with
 // duplicate sessions).
 func (m *Manager) broadcastHello(ctx context.Context) {
@@ -374,7 +436,8 @@ func (m *Manager) broadcastHello(ctx context.Context) {
 }
 
 // expire drops peers whose last hello is older than the liveness
-// window, closing their sessions.
+// window, closing their sessions, and decays flap scores of links that
+// have since held steady.
 func (m *Manager) expire(now time.Time) {
 	m.mu.Lock()
 	var dead []*session
@@ -388,6 +451,15 @@ func (m *Manager) expire(now time.Time) {
 		delete(m.byPeer, id)
 		delete(m.lastHello, id)
 		m.stats.Expiries++
+	}
+	for id, fi := range m.flaps {
+		if now.Sub(fi.last) > 4*m.cfg.LivenessWindow {
+			fi.count--
+			fi.last = now
+			if fi.count <= 0 {
+				delete(m.flaps, id)
+			}
+		}
 	}
 	m.mu.Unlock()
 	for _, s := range dead {
@@ -419,13 +491,17 @@ func (m *Manager) Table() []Info {
 		if s == nil {
 			continue
 		}
-		out = append(out, Info{
+		info := Info{
 			ID:        id,
 			Addr:      s.conn.RemoteAddr(),
 			Inbound:   s.inbound,
 			LastHello: now.Sub(m.lastHello[id]),
 			Sessions:  len(set),
-		})
+		}
+		if fi := m.flaps[id]; fi != nil {
+			info.Flaps = fi.count
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

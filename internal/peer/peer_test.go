@@ -202,6 +202,63 @@ func TestSelfConnectRejected(t *testing.T) {
 	}
 }
 
+// stubConn is a transport.Conn that does nothing, for table-level
+// tests that never pump messages.
+type stubConn struct{ closed bool }
+
+func (c *stubConn) Send(ctx context.Context, m wire.Msg) error { return nil }
+func (c *stubConn) Recv(ctx context.Context) (wire.Msg, error) { return nil, transport.ErrClosed }
+func (c *stubConn) Close() error                               { c.closed = true; return nil }
+func (c *stubConn) LocalAddr() string                          { return "stub-local" }
+func (c *stubConn) RemoteAddr() string                         { return "stub-remote" }
+
+// TestFlapAccounting checks young session deaths are counted as flaps,
+// surfaced in the table, and decayed once the link holds steady.
+func TestFlapAccounting(t *testing.T) {
+	m := NewManager(fastCfg(1, nil))
+	keeper := m.register(2, &stubConn{}, false)
+	young := m.register(2, &stubConn{}, false)
+	m.unregister(young)
+	if got := m.Stats().Flaps; got != 1 {
+		t.Fatalf("Flaps = %d after a young session death, want 1", got)
+	}
+	tab := m.Table()
+	if len(tab) != 1 || tab[0].Flaps != 1 {
+		t.Fatalf("Table() = %+v, want one peer with Flaps=1", tab)
+	}
+
+	// A session that outlived the flap threshold is not a flap.
+	keeper.started = time.Now().Add(-2 * m.cfg.FlapThreshold)
+	m.unregister(keeper)
+	if got := m.Stats().Flaps; got != 1 {
+		t.Fatalf("Flaps = %d after an old session death, want still 1", got)
+	}
+
+	// Decay: after a long quiet period the flap score drains away.
+	m.expire(time.Now().Add(5 * m.cfg.LivenessWindow))
+	m.mu.Lock()
+	left := len(m.flaps)
+	m.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d flap entries survived decay", left)
+	}
+}
+
+// TestFlapDemotionEndToEnd kills sessions from the listening side and
+// checks the dialer counts the young deaths as flaps while still
+// reconnecting.
+func TestFlapDemotionEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	a, b := startPair(t, ctx, net, fastCfg(1, nil), fastCfg(2, nil))
+
+	a.Close()
+	waitFor(t, func() bool { return b.Stats().Flaps >= 1 }, "flap to be counted")
+	waitFor(t, func() bool { return len(a.Peers()) == 1 && len(b.Peers()) == 1 }, "demoted link to recover")
+}
+
 func TestReconnectAfterListenerRestart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

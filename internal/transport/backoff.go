@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"time"
@@ -91,7 +92,11 @@ func globalJitter() float64 {
 }
 
 // DialBackoff dials addr, retrying with exponential backoff and jitter
-// until a connection is established or ctx ends.
+// until a connection is established or ctx ends. Cancellation is
+// honored everywhere: before the first dial, mid-dial (when the inner
+// transport cooperates), and mid-sleep. A version mismatch
+// (ErrVersionMismatch) stops the retry loop immediately — the peer is
+// healthy but incompatible, and no amount of redialing fixes that.
 func DialBackoff(ctx context.Context, tr Transport, addr string, b Backoff) (Conn, error) {
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
@@ -99,9 +104,15 @@ func DialBackoff(ctx context.Context, tr Transport, addr string, b Backoff) (Con
 	}
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c, err := tr.Dial(ctx, addr)
 		if err == nil {
 			return c, nil
+		}
+		if errors.Is(err, ErrVersionMismatch) {
+			return nil, err
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestBackoffJitterBounds checks every delay stays inside
+// [nominal*(1-j), nominal*(1+j)] where nominal is the capped
+// exponential schedule.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{
+		Min: 100 * time.Millisecond, Max: 15 * time.Second,
+		Factor: 2, Jitter: 0.5,
+		Rand: rng.New(1),
+	}
+	for attempt := 0; attempt < 30; attempt++ {
+		nominal := math.Min(
+			float64(b.Min)*math.Pow(b.Factor, float64(attempt)),
+			float64(b.Max))
+		lo := time.Duration(nominal * (1 - b.Jitter))
+		hi := time.Duration(nominal * (1 + b.Jitter))
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffMonotoneCap checks the jitter-free schedule never shrinks
+// and converges exactly to Max.
+func TestBackoffMonotoneCap(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 40; attempt++ {
+		d := b.Delay(attempt)
+		if d < prev {
+			t.Fatalf("attempt %d: delay %v < previous %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	if prev != b.Max {
+		t.Fatalf("schedule converged to %v, want cap %v", prev, b.Max)
+	}
+	if first := b.Delay(0); first != b.Min {
+		t.Fatalf("first delay %v, want Min %v", first, b.Min)
+	}
+}
+
+// failDialer always fails with a fixed error and counts attempts.
+type failDialer struct {
+	err      error
+	attempts int
+}
+
+func (f *failDialer) Dial(ctx context.Context, addr string) (Conn, error) {
+	f.attempts++
+	return nil, f.err
+}
+
+func (f *failDialer) Listen(addr string) (Listener, error) {
+	return nil, errors.New("not a listener")
+}
+
+// TestDialBackoffCancelMidSleep cancels the context while DialBackoff
+// is in a long backoff sleep; it must return promptly, not after the
+// sleep.
+func TestDialBackoffCancelMidSleep(t *testing.T) {
+	d := &failDialer{err: errors.New("down")}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialBackoff(ctx, d, "addr", Backoff{Min: time.Minute, Jitter: -1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("returned after %v; cancellation did not interrupt the sleep", elapsed)
+	}
+}
+
+// TestDialBackoffCanceledBeforeDial must not dial at all on a dead
+// context.
+func TestDialBackoffCanceledBeforeDial(t *testing.T) {
+	d := &failDialer{err: errors.New("down")}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialBackoff(ctx, d, "addr", Backoff{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d.attempts != 0 {
+		t.Fatalf("dialed %d times on a canceled context", d.attempts)
+	}
+}
+
+// TestDialBackoffVersionMismatch stops retrying on an incompatible
+// peer.
+func TestDialBackoffVersionMismatch(t *testing.T) {
+	d := &failDialer{err: fmt.Errorf("peer: %w", ErrVersionMismatch)}
+	_, err := DialBackoff(context.Background(), d, "addr", Backoff{Min: time.Hour})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if d.attempts != 1 {
+		t.Fatalf("dialed %d times, want exactly 1 before giving up", d.attempts)
+	}
+}

@@ -1,0 +1,74 @@
+// Command gencorpus seeds the wire decoder's fuzz corpus with corrupted
+// frames captured from the fault injector: every valid message type is
+// encoded and run through fault.CorruptFrame under a few fixed seeds,
+// so the exact mutations the chaos tests inject are pinned as FuzzDecode
+// regression inputs. Regenerate with:
+//
+//	go run ./internal/wire/gencorpus -out internal/wire/testdata/fuzz/FuzzDecode
+//
+// The output is deterministic; rerunning overwrites the same files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/metadata"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+func frames() [][]byte {
+	rec := metadata.NewSynthetic(3, "news daily", "BBC", "world news",
+		300*1024, metadata.DefaultPieceSize,
+		simtime.At(0, simtime.FileGenerationOffset), simtime.Days(3), []byte("k"))
+	m := &wire.Metadata{Popularity: 0.5, Record: *rec}
+	return [][]byte{
+		wire.EncodeHello(&wire.Hello{
+			From:        7,
+			Heard:       []trace.NodeID{1, 2, 9},
+			Queries:     []string{"jazz", "late show"},
+			Downloading: []metadata.URI{rec.URI},
+		}),
+		wire.EncodeMetadata(m),
+		wire.EncodePiece(&wire.Piece{
+			URI: rec.URI, Index: 0, Total: rec.NumPieces(),
+			Data: metadata.SyntheticPiece(rec.URI, 0, rec.PieceLen(0)),
+		}),
+		wire.EncodePiece(&wire.Piece{
+			URI: rec.URI, Index: 1, Total: rec.NumPieces(),
+			Data:      metadata.SyntheticPiece(rec.URI, 1, rec.PieceLen(1)),
+			Piggyback: m,
+		}),
+	}
+}
+
+func main() {
+	out := flag.String("out", "internal/wire/testdata/fuzz/FuzzDecode",
+		"corpus directory to write")
+	seeds := flag.Int("seeds", 4, "corrupted variants per frame")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for fi, frame := range frames() {
+		for s := 0; s < *seeds; s++ {
+			r := rng.New(uint64(0xC0FFEE + fi*100 + s))
+			mutated := fault.CorruptFrame(r, frame)
+			name := filepath.Join(*out, fmt.Sprintf("injector-corrupt-%d-%d", fi, s))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", mutated)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}
+	fmt.Printf("wrote %d corpus files to %s\n", n, *out)
+}
