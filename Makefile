@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench fuzz chaos chaos-short
+.PHONY: check vet test race short bench fuzz chaos chaos-short bcast-soak bcast-soak-short
 
 check: vet test race
 
@@ -28,6 +28,17 @@ chaos:
 
 chaos-short:
 	$(GO) test -race -count=1 -short -run Chaos -v ./internal/daemon
+
+# Broadcast-group soak: three nodes on the loopback broadcast domain
+# under 20% drop chaos plus a scripted partition must confirm a group,
+# collapse, re-form, and still complete the shared download — plus the
+# transmission-savings comparison and the live TCP demo. bcast-soak-short
+# shrinks the partition for a quick smoke.
+bcast-soak:
+	$(GO) test -race -count=1 -run 'Bcast|LocalhostBcastDemo' -v ./internal/daemon ./cmd/mbtd
+
+bcast-soak-short:
+	$(GO) test -race -count=1 -short -run TestBcastSoak -v ./internal/daemon
 
 # The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
 bench:

@@ -15,6 +15,14 @@
 //
 // Watch `curl 127.0.0.1:8002/stats` until the download shows under
 // "completed". SIGINT/SIGTERM shut the daemon down gracefully.
+//
+// With -bcast on three or more fully-meshed daemons, the nodes derive
+// their clique from overheard hellos and switch to the §V broadcast
+// group schedule: one granted sender per round ships each piece to the
+// whole group (fanned out over the TCP links), instead of every
+// downloader pulling its own pairwise stream. -tft swaps the
+// cooperative coordinator for the tit-for-tat cyclic order. Group
+// state appears under "bcast" in /stats.
 package main
 
 import (
@@ -57,10 +65,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		httpAddr = fs.String("http", "", "serve /healthz and /stats on this address (off when empty)")
 		internet = fs.Bool("internet", false, "Internet-access node: hosts the catalog, answers queries authoritatively")
 		files    = fs.Int("files", 0, "synthetic catalog files to publish at startup (with -internet)")
+		fileSize = fs.Int64("file-size", 0, "synthetic file size in bytes (0 = daemon default)")
+		pieceSz  = fs.Int("piece-size", 0, "piece size in bytes (0 = daemon default)")
 		queries  = fs.String("query", "", "comma-separated query strings this node searches for")
 		fetch    = fs.Bool("fetch-matching", true, "download every file whose metadata matches a query")
 		hello    = fs.Duration("hello", time.Second, "hello beacon interval")
 		window   = fs.Duration("window", 5*time.Second, "peer liveness window (drop peers silent this long)")
+		bcastOn  = fs.Bool("bcast", false, "run the broadcast-group schedule: cliques of 3+ fully-meshed nodes download via one granted sender per round")
+		tft      = fs.Bool("tft", false, "with -bcast, use the tit-for-tat cyclic order instead of the cooperative coordinator")
 		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
 	)
@@ -99,10 +111,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		PeerAddrs:      splitList(*peers),
 		InternetAccess: *internet,
 		PublishFiles:   *files,
+		FileSize:       *fileSize,
+		PieceSize:      *pieceSz,
 		Queries:        splitList(*queries),
 		FetchMatching:  *fetch,
 		HelloInterval:  *hello,
 		LivenessWindow: *window,
+		EnableBcast:    *bcastOn,
+		TitForTat:      *tft,
+		Fault:          chaos,
 		Logf:           logf,
 	}
 	d, err := daemon.New(cfg)

@@ -117,6 +117,93 @@ func TestLocalhostDemo(t *testing.T) {
 	}
 }
 
+// TestLocalhostBcastDemo is the README broadcast walkthrough as a test:
+// three mbtd daemons in a full TCP mesh with -bcast, where the clique
+// forms from overheard hellos and the shared download rides the group
+// schedule (fanned out over the unicast links). Both leechers must
+// complete the file, report a confirmed three-node group in /stats,
+// and have received pieces over the broadcast path. The seed's fast
+// beacon makes the rounds fast (it is the sequencer), while the
+// 128-piece file outlasts the pairwise head start before confirmation.
+func TestLocalhostBcastDemo(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	p1, p2, p3 := freePort(t), freePort(t), freePort(t)
+	h2, h3 := freePort(t), freePort(t)
+	errs := make(chan error, 3)
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "1", "-listen", p1, "-internet", "-files", "1",
+			"-file-size", "524288", "-piece-size", "4096",
+			"-bcast", "-hello", "20ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "2", "-listen", p2, "-peers", p1, "-query", "f0",
+			"-bcast", "-http", h2, "-hello", "200ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "3", "-listen", p3, "-peers", p1 + "," + p2, "-query", "f0",
+			"-bcast", "-http", h3, "-hello", "200ms", "-quiet",
+		}, io.Discard)
+	}()
+
+	type stats struct {
+		Completed map[string]bool `json:"completed"`
+		Bcast     *struct {
+			Group      []int  `json:"group"`
+			Confirmed  bool   `json:"confirmed"`
+			BcastsRecv uint64 `json:"piece_bcasts_recv"`
+		} `json:"bcast"`
+	}
+	poll := func(addr string) (st stats, ok bool) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/stats", addr))
+		if err != nil {
+			return st, false
+		}
+		defer resp.Body.Close()
+		return st, json.NewDecoder(resp.Body).Decode(&st) == nil
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("broadcast demo never completed with a confirmed group")
+		}
+		select {
+		case err := <-errs:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		st2, ok2 := poll(h2)
+		st3, ok3 := poll(h3)
+		if ok2 && ok3 &&
+			st2.Completed["dtn://files/0"] && st3.Completed["dtn://files/0"] &&
+			st2.Bcast != nil && st2.Bcast.Confirmed && len(st2.Bcast.Group) == 3 &&
+			st3.Bcast != nil && st3.Bcast.Confirmed && len(st3.Bcast.Group) == 3 &&
+			st2.Bcast.BcastsRecv > 0 && st3.Bcast.BcastsRecv > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
 // TestLocalhostDemoUnderFaults reruns the demo with the leecher's
 // transport behind `-fault`: 20% drop and 10% corruption over real TCP
 // sockets, recovered by the resend deadline and stall re-drive.

@@ -1,0 +1,579 @@
+// Package bcast runs the live broadcast-group protocol of §V: nodes
+// derive the communication graph from overheard hellos, form the
+// maximal clique containing themselves (internal/clique), and — once
+// every member's announced view agrees — schedule exactly one
+// transmitter per round, so a single piece broadcast serves the whole
+// group at once instead of one pairwise stream per downloader.
+//
+// The schedule is driven by a sequencer, the clique's deterministic
+// coordinator (lowest ID). In the cooperative mode (§V-A) the sequencer
+// also picks the piece and its sender: pieces requested by more members
+// first, ties broken by decreasing popularity. In the tit-for-tat mode
+// (§V-B) the sequencer merely follows the agreed cyclic order — a
+// pseudo-random permutation seeded from the sum of the member IDs that
+// every member can verify, so a selfish sequencer cannot bias whose
+// turn it is — and the granted sender picks its own piece.
+//
+// The engine is transport-agnostic: its Sender either puts frames on a
+// true shared medium (transport.BroadcastConn, one transmission for the
+// whole group) or fans them out over the existing unicast conns. It is
+// deliberately forgiving of stale views: grants for pieces a node
+// cannot serve are silently skipped, duplicate broadcasts are absorbed
+// by the idempotent receive path, and a member that falls silent
+// (partition, flap, crash) expires from the graph so the group re-forms
+// without it rather than stalling.
+//
+// Locking order: Engine.mu may be held while calling into Store or
+// Sender (which take the daemon's lock); the daemon must never call
+// Engine methods while holding its own lock.
+package bcast
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/metadata"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// DefaultMinGroupSize is the smallest clique worth scheduling: with two
+// nodes a broadcast is just a unicast, so pairs stay on the pairwise
+// path.
+const DefaultMinGroupSize = 3
+
+// regrantAfter is how many rounds a granted piece is kept off the
+// candidate list, giving the broadcast time to land and the receivers'
+// next GroupHello to confirm it before the sequencer retries.
+const regrantAfter = 2
+
+// Store is the engine's window into the daemon's piece state. Methods
+// may be called with Engine.mu held and must not call back into the
+// engine.
+type Store interface {
+	// LivePeers lists peers with live unicast sessions — group members
+	// must be live peers, so a partitioned member drops out of every
+	// group even when a side-channel broadcast medium stays up.
+	LivePeers() []trace.NodeID
+	// Wants reports this node's per-file piece state: downloading
+	// entries for wanted files, holding entries for servable ones.
+	Wants() []wire.GroupWant
+	// PieceData returns the bytes and piece total of a servable piece.
+	PieceData(uri metadata.URI, i int) (data []byte, total int, ok bool)
+	// Popularity is the tie-breaking file popularity (0 when unknown).
+	Popularity(uri metadata.URI) float64
+	// DeliverPiece hands a received broadcast to the verify-and-store
+	// path shared with pairwise pieces.
+	DeliverPiece(from trace.NodeID, p *wire.PieceBcast)
+}
+
+// Sender ships engine messages to the group: one transmission on a
+// shared broadcast medium, or a fan-out over unicast conns to members.
+// It must not block (enqueue-and-drop beats a stalled schedule).
+type Sender interface {
+	Broadcast(ctx context.Context, members []trace.NodeID, m wire.Msg)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Self is this node's identity.
+	Self trace.NodeID
+	// TitForTat selects cyclic-order scheduling over coordinator choice.
+	TitForTat bool
+	// MinGroupSize is the smallest clique that forms a group (default
+	// DefaultMinGroupSize); smaller cliques stay pairwise.
+	MinGroupSize int
+	// Window expires graph edges and member views: a member silent this
+	// long is no longer part of any group (default 5s, the protocol's
+	// liveness window; tests shrink it).
+	Window time.Duration
+	// Store and Send connect the engine to the daemon.
+	Store Store
+	Send  Sender
+	// Logf, when set, receives group lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the engine's observable state.
+type Stats struct {
+	Group           []trace.NodeID `json:"group,omitempty"`
+	Confirmed       bool           `json:"confirmed"`
+	Sequencer       trace.NodeID   `json:"sequencer"` // -1 without a group
+	Round           uint64         `json:"round"`
+	TitForTat       bool           `json:"tit_for_tat"`
+	Formations      uint64         `json:"formations"`
+	Collapses       uint64         `json:"collapses"`
+	GroupHellosSent uint64         `json:"group_hellos_sent"`
+	GroupHellosRecv uint64         `json:"group_hellos_recv"`
+	SchedulesSent   uint64         `json:"schedules_sent"`
+	GrantsSent      uint64         `json:"grants_sent"`
+	GrantsRecv      uint64         `json:"grants_recv"`
+	IdleRounds      uint64         `json:"idle_rounds"`
+	PieceBcastsSent uint64         `json:"piece_bcasts_sent"`
+	PieceBcastsRecv uint64         `json:"piece_bcasts_recv"`
+}
+
+// edge is an undirected adjacency edge, stored with a < b.
+type edge struct{ a, b trace.NodeID }
+
+func mkEdge(a, b trace.NodeID) edge {
+	if a > b {
+		a, b = b, a
+	}
+	return edge{a, b}
+}
+
+// view is one member's last announced group state.
+type view struct {
+	members []trace.NodeID
+	wants   []wire.GroupWant
+	at      time.Time
+}
+
+// pieceKey identifies one piece of one file.
+type pieceKey struct {
+	uri   metadata.URI
+	piece int
+}
+
+// Engine is one node's broadcast-group state machine. Construct with
+// New; drive with Observe/HandleGroup from the receive path and Tick
+// from a timer.
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	edges     map[edge]time.Time
+	views     map[trace.NodeID]*view
+	group     []trace.NodeID // nil: no group, pairwise only
+	confirmed bool
+	round     uint64
+	lastGrant map[pieceKey]uint64
+	counters  Stats
+}
+
+// New returns an engine with defaults applied.
+func New(cfg Config) *Engine {
+	if cfg.MinGroupSize <= 0 {
+		cfg.MinGroupSize = DefaultMinGroupSize
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Second
+	}
+	return &Engine{
+		cfg:       cfg,
+		edges:     make(map[edge]time.Time),
+		views:     make(map[trace.NodeID]*view),
+		lastGrant: make(map[pieceKey]uint64),
+	}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// Observe feeds one overheard hello into the adjacency graph: the
+// sender hears each node in heard, so those pairs can share a medium.
+func (e *Engine) Observe(from trace.NodeID, heard []trace.NodeID) {
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, h := range heard {
+		if h != from {
+			e.edges[mkEdge(from, h)] = now
+		}
+	}
+}
+
+// HandleGroup processes one received group message. Grants addressed
+// to this node trigger the piece broadcast inline.
+func (e *Engine) HandleGroup(ctx context.Context, from trace.NodeID, msg wire.Msg) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch v := msg.(type) {
+	case *wire.GroupHello:
+		e.counters.GroupHellosRecv++
+		members := append([]trace.NodeID(nil), v.Members...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		e.views[from] = &view{members: members, wants: v.Wants, at: time.Now()}
+		if v.Round > e.round {
+			e.round = v.Round
+		}
+	case *wire.Schedule:
+		if v.Round > e.round {
+			e.round = v.Round
+		}
+	case *wire.Grant:
+		e.counters.GrantsRecv++
+		if v.Round > e.round {
+			e.round = v.Round
+		}
+		if v.To == e.cfg.Self && contains(e.group, v.From) {
+			e.transmitLocked(ctx, v)
+		}
+	case *wire.PieceBcast:
+		e.counters.PieceBcastsRecv++
+		if v.Round > e.round {
+			e.round = v.Round
+		}
+		// Optimistic: assume every member heard this broadcast; a
+		// receiver that missed it resets the bit with its next
+		// GroupHello and the piece becomes a candidate again.
+		e.markHaveLocked(v.URI, v.Index)
+		e.cfg.Store.DeliverPiece(from, v)
+	}
+}
+
+// InGroup reports whether peer is a member of this node's confirmed
+// group — the daemon's signal to suppress pairwise piece serving and
+// let the schedule do the work.
+func (e *Engine) InGroup(peer trace.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.confirmed && contains(e.group, peer)
+}
+
+// Group snapshots the current member set and whether it is confirmed.
+func (e *Engine) Group() ([]trace.NodeID, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]trace.NodeID(nil), e.group...), e.confirmed
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.counters
+	st.Group = append([]trace.NodeID(nil), e.group...)
+	st.Confirmed = e.confirmed
+	st.Sequencer = clique.Coordinator(e.group)
+	st.Round = e.round
+	st.TitForTat = e.cfg.TitForTat
+	return st
+}
+
+// Tick advances the engine one beat: refresh the group from the graph,
+// announce the view, and — when this node is the confirmed group's
+// sequencer — run one schedule round.
+func (e *Engine) Tick(ctx context.Context) {
+	now := time.Now()
+	live := e.cfg.Store.LivePeers()
+	selfWants := e.cfg.Store.Wants()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pruneLocked(now)
+
+	best := e.bestGroupLocked(live)
+	if !equalIDs(best, e.group) {
+		switch {
+		case best == nil:
+			e.counters.Collapses++
+			e.logf("bcast %d: group %v collapsed; pairwise fallback", e.cfg.Self, e.group)
+		case e.group == nil:
+			e.counters.Formations++
+			e.logf("bcast %d: forming group %v", e.cfg.Self, best)
+		default:
+			e.counters.Formations++
+			e.logf("bcast %d: group re-forms %v -> %v", e.cfg.Self, e.group, best)
+		}
+		e.group = best
+		e.confirmed = false
+		e.lastGrant = make(map[pieceKey]uint64)
+	}
+	// The view keeps its own copy of the bitsets: the announcement below
+	// may sit in a send queue while markHaveLocked updates the view.
+	e.views[e.cfg.Self] = &view{members: e.group, wants: cloneWants(selfWants), at: now}
+	if e.group == nil {
+		return
+	}
+
+	e.sendLocked(ctx, &wire.GroupHello{
+		From:    e.cfg.Self,
+		Members: e.group,
+		Round:   e.round,
+		Wants:   selfWants,
+	})
+	e.counters.GroupHellosSent++
+
+	confirmed := true
+	for _, m := range e.group {
+		if m == e.cfg.Self {
+			continue
+		}
+		v := e.views[m]
+		if v == nil || now.Sub(v.at) > e.cfg.Window || !equalIDs(v.members, e.group) {
+			confirmed = false
+			break
+		}
+	}
+	if confirmed && !e.confirmed {
+		e.logf("bcast %d: group %v live (sequencer %d, tft=%v)",
+			e.cfg.Self, e.group, clique.Coordinator(e.group), e.cfg.TitForTat)
+	}
+	e.confirmed = confirmed
+	if !confirmed || clique.Coordinator(e.group) != e.cfg.Self {
+		return
+	}
+	e.runRoundLocked(ctx, now)
+}
+
+// pruneLocked expires stale graph edges and member views.
+func (e *Engine) pruneLocked(now time.Time) {
+	for k, at := range e.edges {
+		if now.Sub(at) > e.cfg.Window {
+			delete(e.edges, k)
+		}
+	}
+	for id, v := range e.views {
+		if id != e.cfg.Self && now.Sub(v.at) > e.cfg.Window {
+			delete(e.views, id)
+		}
+	}
+}
+
+// bestGroupLocked recomputes this node's group: the largest maximal
+// clique containing Self in the graph of live-peer links plus fresh
+// overheard edges, ties broken lexicographically so every member picks
+// the same clique. Below MinGroupSize there is no group.
+func (e *Engine) bestGroupLocked(live []trace.NodeID) []trace.NodeID {
+	liveSet := make(map[trace.NodeID]bool, len(live))
+	adj := make(map[trace.NodeID]map[trace.NodeID]bool)
+	addEdge := func(a, b trace.NodeID) {
+		if adj[a] == nil {
+			adj[a] = make(map[trace.NodeID]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[trace.NodeID]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for _, p := range live {
+		liveSet[p] = true
+		addEdge(e.cfg.Self, p)
+	}
+	// Overheard edges connect peers to each other; only edges between
+	// nodes this node can still reach (live peers or itself) matter for
+	// cliques containing Self, and restricting to them keeps a
+	// partitioned node's stale edges from holding a phantom group
+	// together.
+	for k := range e.edges {
+		aOK := k.a == e.cfg.Self || liveSet[k.a]
+		bOK := k.b == e.cfg.Self || liveSet[k.b]
+		if aOK && bOK {
+			addEdge(k.a, k.b)
+		}
+	}
+	if len(adj) == 0 {
+		return nil
+	}
+	lists := make(map[trace.NodeID][]trace.NodeID, len(adj))
+	for v, set := range adj {
+		for w := range set {
+			lists[v] = append(lists[v], w)
+		}
+	}
+	mine := clique.Containing(clique.MaximalCliques(lists), e.cfg.Self)
+	var best []trace.NodeID
+	for _, c := range mine {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	if len(best) < e.cfg.MinGroupSize {
+		return nil
+	}
+	return best
+}
+
+// candidate is a piece some member holds and some member lacks.
+type candidate struct {
+	key        pieceKey
+	total      int
+	requesters int
+	lackers    int
+	holders    []trace.NodeID
+	popularity float64
+}
+
+// candidatesLocked enumerates transferable pieces from the members'
+// announced piece state.
+func (e *Engine) candidatesLocked(now time.Time) []*candidate {
+	byKey := make(map[pieceKey]*candidate)
+	for _, m := range e.group {
+		v := e.views[m]
+		if v == nil || now.Sub(v.at) > e.cfg.Window {
+			continue
+		}
+		for i := range v.wants {
+			w := &v.wants[i]
+			for p := 0; p < w.Total; p++ {
+				k := pieceKey{w.URI, p}
+				c := byKey[k]
+				if c == nil {
+					c = &candidate{key: k, total: w.Total}
+					byKey[k] = c
+				}
+				switch {
+				case w.HaveBit(p):
+					c.holders = append(c.holders, m)
+				case w.Downloading:
+					c.requesters++
+				default:
+					c.lackers++
+				}
+			}
+		}
+	}
+	var out []*candidate
+	for k, c := range byKey {
+		if len(c.holders) == 0 || c.requesters+c.lackers == 0 {
+			continue
+		}
+		if granted, ok := e.lastGrant[k]; ok && e.round+1-granted < regrantAfter {
+			continue // in flight: give the broadcast a beat to land
+		}
+		c.popularity = e.cfg.Store.Popularity(k.uri)
+		sort.Slice(c.holders, func(i, j int) bool { return c.holders[i] < c.holders[j] })
+		out = append(out, c)
+	}
+	// §V-A order: requested pieces by requester count then popularity,
+	// then unrequested pieces by popularity; final URI/index tie-break
+	// keeps the schedule deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.requesters > 0) != (b.requesters > 0) {
+			return a.requesters > 0
+		}
+		if a.requesters != b.requesters {
+			return a.requesters > b.requesters
+		}
+		if a.popularity != b.popularity {
+			return a.popularity > b.popularity
+		}
+		if a.key.uri != b.key.uri {
+			return a.key.uri < b.key.uri
+		}
+		return a.key.piece < b.key.piece
+	})
+	return out
+}
+
+// runRoundLocked executes one schedule round as the sequencer.
+func (e *Engine) runRoundLocked(ctx context.Context, now time.Time) {
+	cands := e.candidatesLocked(now)
+	if len(cands) == 0 {
+		e.counters.IdleRounds++
+		return
+	}
+	e.round++
+	grant := &wire.Grant{From: e.cfg.Self, Round: e.round, URI: "", Piece: wire.NoPiece}
+	if e.cfg.TitForTat {
+		// The cyclic order names the sender; the sender picks its piece.
+		order := clique.CyclicOrder(e.group)
+		grant.To = order[int(e.round)%len(order)]
+	} else {
+		c := cands[0]
+		grant.To = c.holders[0]
+		grant.URI = c.key.uri
+		grant.Piece = int32(c.key.piece)
+		e.lastGrant[c.key] = e.round
+	}
+	e.sendLocked(ctx, &wire.Schedule{
+		From: e.cfg.Self, Members: e.group, Round: e.round, TitForTat: e.cfg.TitForTat,
+	})
+	e.counters.SchedulesSent++
+	e.sendLocked(ctx, grant)
+	e.counters.GrantsSent++
+	if grant.To == e.cfg.Self {
+		e.transmitLocked(ctx, grant)
+	}
+}
+
+// transmitLocked serves one grant addressed to this node: resolve the
+// piece (the grant's, or this node's best candidate when the choice is
+// left open), fetch the data, and broadcast it.
+func (e *Engine) transmitLocked(ctx context.Context, g *wire.Grant) {
+	uri, piece := g.URI, int(g.Piece)
+	if uri == "" || g.Piece == wire.NoPiece {
+		cands := e.candidatesLocked(time.Now())
+		found := false
+		for _, c := range cands {
+			if contains(c.holders, e.cfg.Self) {
+				uri, piece = c.key.uri, c.key.piece
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.counters.IdleRounds++ // our turn, nothing useful to send
+			return
+		}
+	}
+	data, total, ok := e.cfg.Store.PieceData(uri, piece)
+	if !ok {
+		return // stale grant: we no longer (or never did) hold it
+	}
+	e.sendLocked(ctx, &wire.PieceBcast{
+		From: e.cfg.Self, Round: g.Round, URI: uri, Index: piece, Total: total, Data: data,
+	})
+	e.counters.PieceBcastsSent++
+	e.lastGrant[pieceKey{uri, piece}] = g.Round
+	e.markHaveLocked(uri, piece)
+}
+
+// markHaveLocked optimistically flips the piece's have bit in every
+// member view that tracks the file.
+func (e *Engine) markHaveLocked(uri metadata.URI, piece int) {
+	for _, v := range e.views {
+		for i := range v.wants {
+			if v.wants[i].URI == uri {
+				v.wants[i].SetHave(piece)
+			}
+		}
+	}
+}
+
+// sendLocked ships one message to the current group.
+func (e *Engine) sendLocked(ctx context.Context, m wire.Msg) {
+	e.cfg.Send.Broadcast(ctx, e.group, m)
+}
+
+// cloneWants deep-copies the Have bitsets so view state and in-flight
+// messages never share bytes.
+func cloneWants(ws []wire.GroupWant) []wire.GroupWant {
+	out := make([]wire.GroupWant, len(ws))
+	for i := range ws {
+		out[i] = ws[i]
+		out[i].Have = append([]byte(nil), ws[i].Have...)
+	}
+	return out
+}
+
+func contains(ids []trace.NodeID, id trace.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func equalIDs(a, b []trace.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package clique
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// permute returns members shuffled by seed — a different presentation
+// of the same set, as two nodes with differently-ordered peer tables
+// would produce.
+func permute(members []trace.NodeID, seed uint64) []trace.NodeID {
+	out := append([]trace.NodeID(nil), members...)
+	r := rng.New(seed)
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// membersFrom builds a small deduped member set from fuzzed bytes.
+func membersFrom(raw []uint16) []trace.NodeID {
+	seen := make(map[trace.NodeID]bool)
+	var out []trace.NodeID
+	for _, v := range raw {
+		id := trace.NodeID(v % 1000)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		if len(out) == 8 {
+			break
+		}
+	}
+	return out
+}
+
+// TestPropertyCoordinatorPermutationInvariant: every member must elect
+// the same coordinator no matter how its peer table happens to order
+// the clique — that is what makes the election communication-free.
+func TestPropertyCoordinatorPermutationInvariant(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		members := membersFrom(raw)
+		if len(members) == 0 {
+			return Coordinator(members) == -1
+		}
+		want := Coordinator(members)
+		if Coordinator(permute(members, seed)) != want {
+			return false
+		}
+		// And the coordinator is always a member, the lowest one.
+		min := members[0]
+		for _, v := range members {
+			if v < min {
+				min = v
+			}
+		}
+		return want == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCyclicOrderPermutationInvariant: the tit-for-tat order
+// must be a permutation of the members that every member computes
+// identically from any input ordering — otherwise the group would
+// disagree on whose turn it is.
+func TestPropertyCyclicOrderPermutationInvariant(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		members := membersFrom(raw)
+		want := CyclicOrder(members)
+		if !reflect.DeepEqual(CyclicOrder(permute(members, seed)), want) {
+			return false
+		}
+		// Same multiset: sorting the order recovers the sorted members.
+		gotSorted := append([]trace.NodeID(nil), want...)
+		sort.Slice(gotSorted, func(i, j int) bool { return gotSorted[i] < gotSorted[j] })
+		wantSorted := append([]trace.NodeID(nil), members...)
+		sort.Slice(wantSorted, func(i, j int) bool { return wantSorted[i] < wantSorted[j] })
+		return reflect.DeepEqual(gotSorted, wantSorted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCyclicOrderSeedIsSumOfIDs pins the §V-B contract to the paper's
+// words: the permutation is exactly the sorted member list shuffled by
+// a PRNG seeded with the sum of the node IDs. A change to the seeding
+// rule would silently desynchronize old and new nodes; this test makes
+// it loud.
+func TestCyclicOrderSeedIsSumOfIDs(t *testing.T) {
+	cases := [][]trace.NodeID{
+		{1, 2, 3},
+		{10, 20, 30, 40},
+		{7},
+		{0, 999, 500, 3, 12},
+	}
+	for _, members := range cases {
+		expected := append([]trace.NodeID(nil), members...)
+		sort.Slice(expected, func(i, j int) bool { return expected[i] < expected[j] })
+		var sum uint64
+		for _, v := range expected {
+			sum += uint64(v)
+		}
+		r := rng.New(sum)
+		r.Shuffle(len(expected), func(i, j int) { expected[i], expected[j] = expected[j], expected[i] })
+		if got := CyclicOrder(members); !reflect.DeepEqual(got, expected) {
+			t.Fatalf("CyclicOrder(%v) = %v, want sum-seeded shuffle %v", members, got, expected)
+		}
+	}
+}
+
+// denseAdj builds a random graph on n vertices with edge probability p.
+func denseAdj(n int, p float64, seed uint64) map[trace.NodeID][]trace.NodeID {
+	r := rng.New(seed)
+	adj := make(map[trace.NodeID][]trace.NodeID, n)
+	for i := 0; i < n; i++ {
+		adj[trace.NodeID(i)] = nil
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(p) {
+				a, b := trace.NodeID(i), trace.NodeID(j)
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
+		}
+	}
+	return adj
+}
+
+// BenchmarkMaximalCliques tracks Bron–Kerbosch on dense random graphs
+// at the sizes a live mesh could plausibly reach. The group engine
+// recomputes cliques every tick, so regressions here become beacon-rate
+// CPU burn on every node.
+func BenchmarkMaximalCliques(b *testing.B) {
+	for _, n := range []int{12, 24, 48} {
+		adj := denseAdj(n, 0.6, 42)
+		b.Run(map[int]string{12: "n12", 24: "n24", 48: "n48"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := MaximalCliques(adj); len(got) == 0 {
+					b.Fatal("no cliques on a dense graph")
+				}
+			}
+		})
+	}
+}

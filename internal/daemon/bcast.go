@@ -1,0 +1,206 @@
+// Broadcast-group glue: the adapters that plug internal/bcast into the
+// daemon. The engine sees the daemon through two narrow views —
+// bcastStore (piece state) and bcastSender (group traffic out) — and
+// feeds received pieces back through the same verify-and-store path as
+// pairwise transfers, so dedup between the two paths is free.
+//
+// Lock ordering: the engine may call these adapters with its own mutex
+// held, so they take d.mu freely; the daemon in turn only calls engine
+// methods (Observe, InGroup, HandleGroup, Tick, Stats) with d.mu
+// released.
+package daemon
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// bcastWantsCap bounds the per-hello piece-state advertisement; a node
+// holding more files than this advertises the first bcastWantsCap in
+// URI order, and the rest stay on the pairwise path.
+const bcastWantsCap = 64
+
+// HandleGroup implements peer.GroupHandler: group messages arriving on
+// unicast sessions flow into the engine.
+func (h *handler) HandleGroup(from trace.NodeID, msg wire.Msg) {
+	d := (*Daemon)(h)
+	if d.bcast == nil || d.quarantined(from) {
+		return
+	}
+	d.bcast.HandleGroup(context.Background(), from, msg)
+}
+
+// bcastLoop ticks the group engine at the round interval.
+func (d *Daemon) bcastLoop(ctx context.Context) {
+	t := time.NewTicker(d.cfg.RoundInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.bcast.Tick(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// bcastPump drains the shared broadcast medium into the engine.
+func (d *Daemon) bcastPump(ctx context.Context) {
+	for {
+		msg, err := d.cfg.Broadcast.Recv(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				d.logf("daemon %d: broadcast medium down: %v", d.cfg.ID, err)
+			}
+			return
+		}
+		from, ok := groupFrom(msg)
+		if !ok || from == d.cfg.ID || d.quarantined(from) {
+			continue
+		}
+		d.bcast.HandleGroup(ctx, from, msg)
+	}
+}
+
+// groupFrom extracts the sender a group message claims; non-group
+// traffic on the medium is ignored.
+func groupFrom(msg wire.Msg) (trace.NodeID, bool) {
+	switch v := msg.(type) {
+	case *wire.GroupHello:
+		return v.From, true
+	case *wire.Schedule:
+		return v.From, true
+	case *wire.Grant:
+		return v.From, true
+	case *wire.PieceBcast:
+		return v.From, true
+	}
+	return 0, false
+}
+
+// bcastSender ships group messages: one Send on the shared medium when
+// the daemon has one, otherwise a unicast fan-out through the outbox
+// (never blocking — the outbox drops on overflow and the next tick
+// re-announces).
+type bcastSender Daemon
+
+func (s *bcastSender) Broadcast(_ context.Context, members []trace.NodeID, m wire.Msg) {
+	d := (*Daemon)(s)
+	if bc := d.cfg.Broadcast; bc != nil {
+		// The medium is best-effort by design; a full receiver queue is
+		// a missed frame, same as radio.
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := bc.Send(sctx, m); err != nil {
+			d.logf("daemon %d: broadcast %v: %v", d.cfg.ID, m.Type(), err)
+		}
+		return
+	}
+	for _, id := range members {
+		if id != d.cfg.ID {
+			d.enqueue(id, m)
+		}
+	}
+}
+
+// bcastStore is the engine's read/write view of the daemon's state.
+type bcastStore Daemon
+
+func (s *bcastStore) LivePeers() []trace.NodeID {
+	return (*Daemon)(s).mgr.Peers()
+}
+
+// Wants reports this node's per-file piece state: every piece set it
+// holds (Downloading marks active incomplete downloads) plus, on
+// Internet nodes, the catalog's files as complete holdings.
+func (s *bcastStore) Wants() []wire.GroupWant {
+	d := (*Daemon)(s)
+	now := d.now()
+	var out []wire.GroupWant
+	seen := make(map[metadata.URI]bool)
+
+	d.mu.Lock()
+	for _, uri := range d.node.PieceURIs() {
+		if len(out) >= bcastWantsCap {
+			break
+		}
+		ps := d.node.Pieces(uri)
+		if ps == nil || ps.Total() == 0 {
+			continue
+		}
+		w := wire.NewGroupWant(uri, ps.Total(), ps.Want && !ps.Complete())
+		for i := 0; i < ps.Total(); i++ {
+			if ps.Have(i) {
+				w.SetHave(i)
+			}
+		}
+		out = append(out, *w)
+		seen[uri] = true
+	}
+	d.mu.Unlock()
+
+	if d.catalog != nil {
+		for _, m := range d.catalog.Top(now, bcastWantsCap) {
+			if len(out) >= bcastWantsCap {
+				break
+			}
+			if seen[m.URI] {
+				continue
+			}
+			w := wire.NewGroupWant(m.URI, m.NumPieces(), false)
+			for i := 0; i < m.NumPieces(); i++ {
+				w.SetHave(i)
+			}
+			out = append(out, *w)
+		}
+	}
+	return out
+}
+
+// PieceData regenerates a servable piece, catalog first, cached piece
+// sets second — the same sources servePieces draws from.
+func (s *bcastStore) PieceData(uri metadata.URI, i int) ([]byte, int, bool) {
+	d := (*Daemon)(s)
+	now := d.now()
+	if d.catalog != nil {
+		if rec, err := d.catalog.Lookup(uri); err == nil {
+			if i < 0 || i >= rec.NumPieces() {
+				return nil, 0, false
+			}
+			return metadata.SyntheticPiece(uri, i, rec.PieceLen(i)), rec.NumPieces(), true
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sm := d.node.Metadata(uri)
+	ps := d.node.Pieces(uri)
+	if sm == nil || sm.Meta.Expired(now) || ps == nil || !ps.Have(i) {
+		return nil, 0, false
+	}
+	return metadata.SyntheticPiece(uri, i, sm.Meta.PieceLen(i)), sm.Meta.NumPieces(), true
+}
+
+func (s *bcastStore) Popularity(uri metadata.URI) float64 {
+	d := (*Daemon)(s)
+	if d.catalog != nil {
+		return d.catalog.Popularity(d.now(), uri)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sm := d.node.Metadata(uri); sm != nil {
+		return sm.Popularity
+	}
+	return 0
+}
+
+// DeliverPiece feeds a broadcast piece through the pairwise receive
+// path: verification against stored metadata, idempotent store (a piece
+// already heard pairwise counts as a duplicate, not a conflict), and
+// completion detection.
+func (s *bcastStore) DeliverPiece(from trace.NodeID, p *wire.PieceBcast) {
+	(*Daemon)(s).onPiece(from, p.AsPiece())
+}

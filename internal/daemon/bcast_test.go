@@ -1,0 +1,300 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metadata"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// trio spins up the standard broadcast-group topology: node 1 is the
+// Internet seed, nodes 2 and 3 query f0, all three are a full unicast
+// mesh and share one loopback broadcast domain when withDomain is set.
+type trio struct {
+	seed, a, b *Daemon
+}
+
+func startTrio(t *testing.T, ctx context.Context, tr transport.Transport,
+	net *transport.Loopback, withDomain, enableBcast bool, mut func(i int, cfg *Config)) trio {
+	t.Helper()
+	var dom *transport.BroadcastDomain
+	if withDomain {
+		dom = net.Domain("radio")
+	}
+	mk := func(i int, id trace.NodeID, cfg Config) *Daemon {
+		cfg.EnableBcast = enableBcast
+		if dom != nil && enableBcast {
+			conn, err := dom.Join(cfg.ListenAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Broadcast = conn
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start(ctx, d)
+		return d
+	}
+	seedCfg := fastCfg(1, tr)
+	seedCfg.ListenAddr = "seed"
+	seedCfg.InternetAccess = true
+	seedCfg.PublishFiles = 1
+	seedCfg.FileSize = 64 * 1024 // 16 pieces at 4 KB
+	seedCfg.PieceSize = 4 * 1024
+	aCfg := fastCfg(2, tr)
+	aCfg.ListenAddr = "n2"
+	aCfg.PeerAddrs = []string{"seed"}
+	bCfg := fastCfg(3, tr)
+	bCfg.ListenAddr = "n3"
+	bCfg.PeerAddrs = []string{"seed", "n2"}
+	return trio{
+		seed: mk(0, 1, seedCfg),
+		a:    mk(1, 2, aCfg),
+		b:    mk(2, 3, bCfg),
+	}
+}
+
+// startDownloads kicks off the shared download on both leech nodes.
+// Queries start after group formation on purpose: the point of these
+// tests is what happens on the scheduled path, not in the pairwise
+// head start before the group confirms.
+func (tr3 trio) startDownloads() {
+	tr3.a.AddQuery("f0")
+	tr3.b.AddQuery("f0")
+}
+
+// meshLive reports whether all three nodes see both others as peers.
+func meshLive(tr3 trio) bool {
+	return len(tr3.seed.Manager().Peers()) == 2 &&
+		len(tr3.a.Manager().Peers()) == 2 &&
+		len(tr3.b.Manager().Peers()) == 2
+}
+
+// groupConfirmed reports whether d sits in a confirmed {1,2,3} group.
+func groupConfirmed(d *Daemon) bool {
+	st := d.Stats()
+	return st.Bcast != nil && st.Bcast.Confirmed && len(st.Bcast.Group) == 3
+}
+
+// pieceTransmissions totals piece sends across both paths: every
+// pairwise wire.Piece plus every PieceBcast (one broadcast = one
+// transmission on the shared medium, however many nodes hear it).
+func pieceTransmissions(ds ...*Daemon) uint64 {
+	var n uint64
+	for _, d := range ds {
+		st := d.Stats()
+		n += st.Transport.PiecesSent
+		if st.Bcast != nil {
+			n += st.Bcast.PieceBcastsSent
+		}
+	}
+	return n
+}
+
+// TestBcastFewerTransmissions is the paper's §V claim made measurable:
+// the same three-node download runs once pairwise and once as a
+// broadcast group over a shared medium, and the group run must move
+// the file in strictly fewer piece transmissions — one broadcast
+// serves both downloaders where the pairwise path pays per receiver.
+func TestBcastFewerTransmissions(t *testing.T) {
+	const pieces = 16
+	f0 := metadata.URIFor(0)
+
+	runOnce := func(enableBcast bool) uint64 {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		net := transport.NewLoopback()
+		defer net.Close()
+		tr3 := startTrio(t, ctx, net, net, enableBcast, enableBcast, nil)
+		if enableBcast {
+			// Let the group confirm before the download starts, so the
+			// schedule — not a pairwise head start — moves the file.
+			waitFor(t, func() bool {
+				return groupConfirmed(tr3.seed) && groupConfirmed(tr3.a) && groupConfirmed(tr3.b)
+			}, "group confirmation")
+		} else {
+			waitFor(t, func() bool { return meshLive(tr3) }, "mesh")
+		}
+		tr3.startDownloads()
+		waitFor(t, func() bool {
+			return tr3.a.Completed(f0) && tr3.b.Completed(f0)
+		}, "both downloads")
+		return pieceTransmissions(tr3.seed, tr3.a, tr3.b)
+	}
+
+	pairwise := runOnce(false)
+	grouped := runOnce(true)
+	t.Logf("piece transmissions: pairwise=%d grouped=%d (%d pieces, 2 downloaders)",
+		pairwise, grouped, pieces)
+	if pairwise < 2*pieces {
+		t.Fatalf("pairwise run sent %d piece transmissions, expected >= %d", pairwise, 2*pieces)
+	}
+	if grouped >= pairwise {
+		t.Fatalf("grouped run sent %d piece transmissions, pairwise sent %d — no broadcast savings",
+			grouped, pairwise)
+	}
+	// The ideal is one broadcast per piece; allow slack for grants that
+	// raced the confirmation, but the bulk must have gone out once.
+	if grouped > 2*pieces {
+		t.Fatalf("grouped run sent %d piece transmissions for %d pieces — savings not measurable",
+			grouped, pieces)
+	}
+}
+
+// TestBcastSoak is the acceptance soak: three nodes on the loopback
+// broadcast domain under 20% unicast drop plus a scripted partition,
+// fixed seed, race detector on. The group must confirm, collapse when
+// the partition silences the mesh, re-form after it heals, and both
+// downloaders must still complete the shared file.
+func TestBcastSoak(t *testing.T) {
+	partition := 3 * time.Second
+	limit := 60 * time.Second
+	if testing.Short() {
+		partition = time.Second
+		limit = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	chaos := fault.Wrap(net, fault.Config{
+		Seed:     7,
+		Drop:     0.20,
+		DelayMax: time.Millisecond,
+		Schedule: []fault.Event{
+			{At: time.Second, Partition: true},
+			{At: time.Second + partition, Partition: false},
+		},
+	})
+	bo := transport.Backoff{Min: 2 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: -1}
+	tr3 := startTrio(t, ctx, chaos, net, true, true, func(i int, cfg *Config) {
+		cfg.Backoff = bo
+		cfg.Fault = chaos
+		cfg.RetryBudget = 64
+	})
+
+	// Phase 1: the group confirms on the intact mesh; only then does
+	// the shared download start, so it rides the schedule.
+	waitLong(t, limit, func() bool {
+		return groupConfirmed(tr3.seed) && groupConfirmed(tr3.a) && groupConfirmed(tr3.b)
+	}, "initial group confirmation")
+	tr3.startDownloads()
+
+	// Phase 2: the partition silences every unicast link; liveness
+	// expiry must collapse the group (pairwise fallback, not a stall)
+	// even though the broadcast medium itself stays up.
+	waitLong(t, limit, func() bool {
+		st := tr3.a.Stats().Bcast
+		return st != nil && st.Collapses >= 1 && !groupConfirmed(tr3.a)
+	}, "group collapse under partition")
+
+	// Phase 3: heal → peers return → the group re-forms and confirms.
+	waitLong(t, limit, func() bool {
+		st := tr3.a.Stats().Bcast
+		return st != nil && st.Formations >= 2 && groupConfirmed(tr3.a) &&
+			groupConfirmed(tr3.seed) && groupConfirmed(tr3.b)
+	}, "group re-formation after heal")
+
+	// Phase 4: the shared file completes on both downloaders despite
+	// the drop rate — broadcasts carry it, pairwise fills any gaps.
+	f0 := metadata.URIFor(0)
+	waitLong(t, limit, func() bool {
+		return tr3.a.Completed(f0) && tr3.b.Completed(f0)
+	}, "downloads under chaos")
+
+	// The injector's counters are surfaced through Stats (and thus
+	// /stats): the chaos really ran and the JSON surface carries it.
+	st := tr3.a.Stats()
+	if st.Fault == nil || st.Fault.Sent == 0 {
+		t.Fatalf("fault stats missing from daemon stats: %+v", st.Fault)
+	}
+	if st.Fault.Dropped == 0 {
+		t.Fatalf("no drops injected: %+v", st.Fault)
+	}
+	if st.Fault.PartitionDropped+st.Fault.DialsBlocked == 0 {
+		t.Fatalf("partition never touched traffic: %+v", st.Fault)
+	}
+	if st.Bcast.GroupHellosSent == 0 || st.Bcast.PieceBcastsRecv == 0 {
+		t.Fatalf("broadcast path unused: %+v", st.Bcast)
+	}
+}
+
+// TestBcastUnicastFanout: without a shared medium the group still runs,
+// fanning group traffic out over the existing unicast sessions — the
+// mode cmd/mbtd uses over real TCP.
+func TestBcastUnicastFanout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	tr3 := startTrio(t, ctx, net, net, false, true, nil)
+
+	waitFor(t, func() bool {
+		return groupConfirmed(tr3.seed) && groupConfirmed(tr3.a) && groupConfirmed(tr3.b)
+	}, "group confirmation over unicast fan-out")
+	tr3.startDownloads()
+	f0 := metadata.URIFor(0)
+	waitFor(t, func() bool {
+		return tr3.a.Completed(f0) && tr3.b.Completed(f0)
+	}, "downloads over unicast fan-out")
+	if got := tr3.a.Stats().Transport.GroupRecv; got == 0 {
+		t.Fatal("no group messages crossed the unicast sessions")
+	}
+}
+
+// TestBcastSuppressionFallsBack: while a group is confirmed the seed
+// suppresses pairwise piece serving to members; the counter proves the
+// suppression actually fired during the grouped download.
+func TestBcastSuppressionFallsBack(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	tr3 := startTrio(t, ctx, net, net, true, true, nil)
+
+	waitFor(t, func() bool {
+		return groupConfirmed(tr3.seed) && groupConfirmed(tr3.a) && groupConfirmed(tr3.b)
+	}, "group confirmation")
+	tr3.startDownloads()
+	f0 := metadata.URIFor(0)
+	waitFor(t, func() bool {
+		return tr3.a.Completed(f0) && tr3.b.Completed(f0)
+	}, "grouped download")
+	if got := tr3.seed.Stats().PiecesSuppressed; got == 0 {
+		t.Fatal("pairwise suppression never fired during a confirmed group download")
+	}
+}
+
+// TestBcastTitForTat: the cyclic-order mode also completes the shared
+// download, with the grant rotating instead of the coordinator picking.
+func TestBcastTitForTat(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	tr3 := startTrio(t, ctx, net, net, true, true, func(i int, cfg *Config) {
+		cfg.TitForTat = true
+	})
+
+	waitFor(t, func() bool {
+		return groupConfirmed(tr3.seed) && groupConfirmed(tr3.a) && groupConfirmed(tr3.b)
+	}, "group confirmation")
+	tr3.startDownloads()
+	f0 := metadata.URIFor(0)
+	waitFor(t, func() bool {
+		return tr3.a.Completed(f0) && tr3.b.Completed(f0)
+	}, "tit-for-tat download")
+	st := tr3.a.Stats().Bcast
+	if st == nil || !st.TitForTat {
+		t.Fatalf("stats do not report tit-for-tat mode: %+v", st)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bcast"
+	"repro/internal/fault"
 	"repro/internal/hello"
 	"repro/internal/metadata"
 	"repro/internal/node"
@@ -133,6 +135,28 @@ type Config struct {
 	QuarantineBase      time.Duration
 	// Backoff shapes outbound redial.
 	Backoff transport.Backoff
+	// EnableBcast runs the live broadcast-group subsystem (§V): the
+	// daemon derives cliques from overheard hellos and serves group
+	// members through scheduled one-sender broadcasts instead of
+	// pairwise streams.
+	EnableBcast bool
+	// TitForTat selects cyclic-order scheduling (§V-B) over the
+	// cooperative coordinator (§V-A).
+	TitForTat bool
+	// RoundInterval paces the group engine's ticks (default
+	// HelloInterval).
+	RoundInterval time.Duration
+	// MinGroupSize is the smallest clique worth scheduling (default
+	// bcast.DefaultMinGroupSize).
+	MinGroupSize int
+	// Broadcast, when non-nil, is a joined shared-medium conn: group
+	// traffic costs one transmission for the whole group instead of a
+	// per-member unicast fan-out. The daemon pumps it but does not own
+	// it.
+	Broadcast transport.BroadcastConn
+	// Fault, when the transport is wrapped in a fault injector, surfaces
+	// its counters under /stats.
+	Fault *fault.Transport
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -164,8 +188,15 @@ type Stats struct {
 	// signatures and the messages dropped on that ground.
 	Quarantined     []trace.NodeID `json:"quarantined,omitempty"`
 	QuarantineDrops uint64         `json:"quarantine_drops"`
-	Peers           []peer.Info    `json:"peers"`
-	Transport       peer.Stats     `json:"transport"`
+	// PiecesSuppressed counts pairwise piece serves skipped because the
+	// requester is a confirmed group member (the schedule serves it).
+	PiecesSuppressed uint64      `json:"pieces_suppressed"`
+	Peers            []peer.Info `json:"peers"`
+	Transport        peer.Stats  `json:"transport"`
+	// Bcast is the group engine's state (with EnableBcast).
+	Bcast *bcast.Stats `json:"bcast,omitempty"`
+	// Fault is the injector's counters (with Config.Fault).
+	Fault *fault.Stats `json:"fault,omitempty"`
 }
 
 // sentState tracks what this daemon already pushed to one peer and
@@ -201,7 +232,8 @@ type outMsg struct {
 type Daemon struct {
 	cfg     Config
 	mgr     *peer.Manager
-	catalog *server.Safe // nil unless InternetAccess
+	catalog *server.Safe  // nil unless InternetAccess
+	bcast   *bcast.Engine // nil unless EnableBcast
 	epoch   time.Time
 	outbox  chan outMsg
 
@@ -220,6 +252,7 @@ type Daemon struct {
 		piecesDuplicate, piecesResent                uint64
 		badSignatures, outboxDrops                   uint64
 		stalls, redrives, quarantineDrops            uint64
+		piecesSuppressed                             uint64
 	}
 }
 
@@ -273,6 +306,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.QuarantineBase <= 0 {
 		cfg.QuarantineBase = cfg.LivenessWindow
 	}
+	if cfg.RoundInterval <= 0 {
+		cfg.RoundInterval = cfg.HelloInterval
+	}
 
 	d := &Daemon{
 		cfg:       cfg,
@@ -298,6 +334,17 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	for _, q := range cfg.Queries {
 		d.node.AddQuery(q, d.now().Add(cfg.TTL))
+	}
+	if cfg.EnableBcast {
+		d.bcast = bcast.New(bcast.Config{
+			Self:         cfg.ID,
+			TitForTat:    cfg.TitForTat,
+			MinGroupSize: cfg.MinGroupSize,
+			Window:       cfg.LivenessWindow,
+			Store:        (*bcastStore)(d),
+			Send:         (*bcastSender)(d),
+			Logf:         cfg.Logf,
+		})
 	}
 	d.mgr = peer.NewManager(peer.Config{
 		Self:             cfg.ID,
@@ -403,6 +450,20 @@ func (d *Daemon) Run(ctx context.Context) error {
 		defer wg.Done()
 		d.sweepLoop(ctx)
 	}()
+	if d.bcast != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.bcastLoop(ctx)
+		}()
+		if d.cfg.Broadcast != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.bcastPump(ctx)
+			}()
+		}
+	}
 
 	<-ctx.Done()
 	cancel()
@@ -527,6 +588,14 @@ func (d *Daemon) sweepOnce(ctx context.Context) {
 	}
 }
 
+// AddQuery registers a new search at runtime, as if it had been in
+// Config.Queries: the next hello beacon advertises it.
+func (d *Daemon) AddQuery(q string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.node.AddQuery(q, d.now().Add(d.cfg.TTL))
+}
+
 // Completed reports whether uri finished downloading and verified.
 func (d *Daemon) Completed(uri metadata.URI) bool {
 	d.mu.Lock()
@@ -555,6 +624,7 @@ func (d *Daemon) Stats() Stats {
 		Redrives:                d.counters.redrives,
 		RetryBudget:             d.cfg.RetryBudget,
 		QuarantineDrops:         d.counters.quarantineDrops,
+		PiecesSuppressed:        d.counters.piecesSuppressed,
 	}
 	for _, uri := range d.node.WantedIncomplete() {
 		st.Downloading = append(st.Downloading, string(uri))
@@ -582,6 +652,14 @@ func (d *Daemon) Stats() Stats {
 	}
 	st.Peers = d.mgr.Table()
 	st.Transport = d.mgr.Stats()
+	if d.bcast != nil {
+		bs := d.bcast.Stats()
+		st.Bcast = &bs
+	}
+	if d.cfg.Fault != nil {
+		fs := d.cfg.Fault.Stats()
+		st.Fault = &fs
+	}
 	return st
 }
 
@@ -629,12 +707,28 @@ func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
 	d.node.LearnPeerQueries(from, msg.Queries, now.Add(10*hello.Window))
 	d.mu.Unlock()
 
+	// The heard list is the raw material of the clique graph: the sender
+	// vouches it can receive each listed node.
+	if d.bcast != nil {
+		d.bcast.Observe(from, msg.Heard)
+	}
+
 	var out []wire.Msg
 	for _, q := range msg.Queries {
 		out = append(out, d.answerQuery(now, from, q)...)
 	}
-	for _, uri := range msg.Downloading {
-		out = append(out, d.servePieces(from, uri)...)
+	// A confirmed group member's downloads are the schedule's job: one
+	// broadcast serves every member, so pairwise streams to it would
+	// only burn the medium. Collapse flips InGroup off and this path
+	// resumes — the pairwise fallback.
+	if d.bcast != nil && len(msg.Downloading) > 0 && d.bcast.InGroup(from) {
+		d.mu.Lock()
+		d.counters.piecesSuppressed += uint64(len(msg.Downloading))
+		d.mu.Unlock()
+	} else {
+		for _, uri := range msg.Downloading {
+			out = append(out, d.servePieces(from, uri)...)
+		}
 	}
 	for _, m := range out {
 		d.enqueue(from, m)

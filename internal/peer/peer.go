@@ -54,6 +54,14 @@ type Handler interface {
 	HandlePiece(from trace.NodeID, p *wire.Piece)
 }
 
+// GroupHandler is the optional extension a Handler implements to
+// receive the broadcast-group messages of §V (*wire.GroupHello,
+// *wire.Schedule, *wire.Grant, *wire.PieceBcast). A Handler without it
+// drops them, so group-aware and group-oblivious daemons interoperate.
+type GroupHandler interface {
+	HandleGroup(from trace.NodeID, msg wire.Msg)
+}
+
 // Config parameterizes a Manager.
 type Config struct {
 	// Self is this node's identity, announced in every hello.
@@ -100,6 +108,8 @@ type Stats struct {
 	MetadataRecv  uint64 `json:"metadata_recv"`
 	PiecesSent    uint64 `json:"pieces_sent"`
 	PiecesRecv    uint64 `json:"pieces_recv"`
+	GroupSent     uint64 `json:"group_sent"`
+	GroupRecv     uint64 `json:"group_recv"`
 	Accepts       uint64 `json:"accepts"`
 	Dials         uint64 `json:"dials"`
 	Reconnects    uint64 `json:"reconnects"`
@@ -383,6 +393,11 @@ func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandlePiece(from, v)
 		}
+	case *wire.GroupHello, *wire.Schedule, *wire.Grant, *wire.PieceBcast:
+		m.addStat(func(s *Stats) { s.GroupRecv++ })
+		if gh, ok := m.cfg.Handler.(GroupHandler); ok {
+			gh.HandleGroup(from, msg)
+		}
 	}
 }
 
@@ -415,6 +430,8 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 		m.addStat(func(st *Stats) { st.MetadataSent++ })
 	case *wire.Piece:
 		m.addStat(func(st *Stats) { st.PiecesSent++ })
+	default:
+		m.addStat(func(st *Stats) { st.GroupSent++ })
 	}
 	return nil
 }

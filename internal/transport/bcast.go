@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// BroadcastConn is one endpoint of a shared broadcast medium: a Send is
+// heard by every other member of the domain in one transmission — the
+// physical capability §V's one-sender schedule exploits. Where no real
+// shared medium exists (plain TCP), callers fall back to fanning the
+// message out over unicast Conns; the scheduling layer is agnostic.
+//
+// Like Conn, Send may be called from any goroutine while Recv must stay
+// on a single goroutine, and frames round-trip through the wire codec.
+type BroadcastConn interface {
+	// Send transmits one message to every other current member.
+	Send(ctx context.Context, m wire.Msg) error
+	// Recv returns the next message heard on the medium. Malformed but
+	// well-framed messages are skipped (the resync policy); framing
+	// garbage closes the conn.
+	Recv(ctx context.Context) (wire.Msg, error)
+	// Close leaves the domain; safe to call more than once.
+	Close() error
+	// Addr names this member for logs.
+	Addr() string
+}
+
+// domainQueue bounds each member's receive buffer. A member that falls
+// this far behind misses frames — exactly how a busy radio receiver
+// behaves — rather than stalling every other member's sends.
+const domainQueue = 256
+
+// BroadcastDomain is a deterministic in-memory shared medium attached
+// to a Loopback network: every member Joined to it hears every other
+// member's sends. It models the one-transmitter-many-receivers radio
+// channel of §V for tests, with the same codec round-trip guarantees as
+// loopback unicast conns.
+type BroadcastDomain struct {
+	name string
+
+	mu      sync.Mutex
+	members map[string]*domainConn
+	missed  uint64
+	closed  bool
+}
+
+// NewBroadcastDomain returns an empty named shared medium.
+func NewBroadcastDomain(name string) *BroadcastDomain {
+	return &BroadcastDomain{name: name, members: make(map[string]*domainConn)}
+}
+
+// Domain returns the loopback network's named broadcast domain,
+// creating it on first use. Domains share the network's lifetime but
+// not its listener namespace.
+func (n *Loopback) Domain(name string) *BroadcastDomain {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.domains == nil {
+		n.domains = make(map[string]*BroadcastDomain)
+	}
+	d := n.domains[name]
+	if d == nil {
+		d = NewBroadcastDomain(name)
+		n.domains[name] = d
+	}
+	return d
+}
+
+// Join adds a member under addr (any non-empty unique string) and
+// returns its endpoint.
+func (d *BroadcastDomain) Join(addr string) (BroadcastConn, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("transport: empty broadcast member address")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := d.members[addr]; ok {
+		return nil, fmt.Errorf("%q: %w", addr, ErrAddrInUse)
+	}
+	c := &domainConn{
+		domain: d,
+		addr:   addr,
+		in:     make(chan []byte, domainQueue),
+		done:   make(chan struct{}),
+	}
+	d.members[addr] = c
+	return c, nil
+}
+
+// Members lists the current member addresses (for tests and stats).
+func (d *BroadcastDomain) Members() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.members))
+	for addr := range d.members {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Missed counts frames dropped because a member's receive queue was
+// full — the shared medium's only loss mode.
+func (d *BroadcastDomain) Missed() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.missed
+}
+
+// Close evicts every member; their Recvs return ErrClosed.
+func (d *BroadcastDomain) Close() error {
+	d.mu.Lock()
+	members := make([]*domainConn, 0, len(d.members))
+	for _, c := range d.members {
+		members = append(members, c)
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, c := range members {
+		c.Close()
+	}
+	return nil
+}
+
+// transmit delivers one encoded frame to every member except the
+// sender. Delivery is best-effort per receiver: a full queue means that
+// receiver misses the frame, it never blocks the sender or the rest of
+// the group.
+func (d *BroadcastDomain) transmit(from *domainConn, frame []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.members[from.addr] != from {
+		return ErrClosed
+	}
+	for addr, c := range d.members {
+		if addr == from.addr {
+			continue
+		}
+		select {
+		case c.in <- frame:
+		default:
+			d.missed++
+		}
+	}
+	return nil
+}
+
+// domainConn is one member endpoint of a BroadcastDomain.
+type domainConn struct {
+	domain *BroadcastDomain
+	addr   string
+	in     chan []byte
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (c *domainConn) Send(ctx context.Context, m wire.Msg) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	return c.domain.transmit(c, wire.Encode(m))
+}
+
+func (c *domainConn) Recv(ctx context.Context) (wire.Msg, error) {
+	for {
+		select {
+		case frame := <-c.in:
+			m, err := decodeFrame(frame)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if m == nil {
+				continue // malformed body: skip, stay joined
+			}
+			return m, nil
+		case <-c.done:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *domainConn) Close() error {
+	c.once.Do(func() {
+		close(c.done)
+		c.domain.mu.Lock()
+		if c.domain.members[c.addr] == c {
+			delete(c.domain.members, c.addr)
+		}
+		c.domain.mu.Unlock()
+	})
+	return nil
+}
+
+func (c *domainConn) Addr() string { return c.addr }

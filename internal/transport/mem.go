@@ -39,6 +39,7 @@ const memQueue = 64
 type Loopback struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
+	domains   map[string]*BroadcastDomain
 	closed    bool
 }
 
@@ -55,10 +56,17 @@ func (n *Loopback) Close() error {
 	for _, l := range n.listeners {
 		ls = append(ls, l)
 	}
+	ds := make([]*BroadcastDomain, 0, len(n.domains))
+	for _, d := range n.domains {
+		ds = append(ds, d)
+	}
 	n.closed = true
 	n.mu.Unlock()
 	for _, l := range ls {
 		l.Close()
+	}
+	for _, d := range ds {
+		d.Close()
 	}
 	return nil
 }

@@ -26,6 +26,13 @@ func seedFrames() [][]byte {
 		EncodePiece(&Piece{URI: m.Record.URI, Index: 0, Total: m.Record.NumPieces(), Data: data}),
 		EncodePiece(&Piece{URI: m.Record.URI, Index: 1, Total: m.Record.NumPieces(),
 			Data: metadata.SyntheticPiece(m.Record.URI, 1, m.Record.PieceLen(1)), Piggyback: m}),
+		EncodeGroupHello(sampleGroupHello()),
+		EncodeGroupHello(&GroupHello{From: 0}),
+		EncodeSchedule(&Schedule{From: 3, Members: []trace.NodeID{3, 7, 11}, Round: 9, TitForTat: true}),
+		EncodeGrant(&Grant{From: 3, To: 7, Round: 9, URI: m.Record.URI, Piece: 2}),
+		EncodeGrant(&Grant{From: 3, To: 11, Round: 10, Piece: NoPiece}),
+		EncodePieceBcast(&PieceBcast{From: 7, Round: 4, URI: m.Record.URI, Index: 0,
+			Total: m.Record.NumPieces(), Data: data}),
 	}
 }
 

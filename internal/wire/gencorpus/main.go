@@ -29,6 +29,9 @@ func frames() [][]byte {
 		300*1024, metadata.DefaultPieceSize,
 		simtime.At(0, simtime.FileGenerationOffset), simtime.Days(3), []byte("k"))
 	m := &wire.Metadata{Popularity: 0.5, Record: *rec}
+	members := []trace.NodeID{3, 7, 11}
+	want := wire.NewGroupWant(rec.URI, rec.NumPieces(), true)
+	want.SetHave(0)
 	return [][]byte{
 		wire.EncodeHello(&wire.Hello{
 			From:        7,
@@ -45,6 +48,19 @@ func frames() [][]byte {
 			URI: rec.URI, Index: 1, Total: rec.NumPieces(),
 			Data:      metadata.SyntheticPiece(rec.URI, 1, rec.PieceLen(1)),
 			Piggyback: m,
+		}),
+		wire.EncodeGroupHello(&wire.GroupHello{
+			From: 7, Members: members, Round: 12, Wants: []wire.GroupWant{*want},
+		}),
+		wire.EncodeSchedule(&wire.Schedule{
+			From: 3, Members: members, Round: 13, TitForTat: true,
+		}),
+		wire.EncodeGrant(&wire.Grant{
+			From: 3, To: 7, Round: 13, URI: rec.URI, Piece: 1,
+		}),
+		wire.EncodePieceBcast(&wire.PieceBcast{
+			From: 7, Round: 13, URI: rec.URI, Index: 1, Total: rec.NumPieces(),
+			Data: metadata.SyntheticPiece(rec.URI, 1, rec.PieceLen(1)),
 		}),
 	}
 }

@@ -1,0 +1,386 @@
+// Group messages carry the live broadcast-group protocol of §V on the
+// wire. Clique members converge on a shared group view through
+// GroupHello, a sequencer announces each round with Schedule and names
+// exactly one transmitter with Grant, and the granted node ships the
+// piece to the whole group in one PieceBcast. The formats follow the
+// same header + length-prefixed big-endian layout as the three base
+// messages.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/metadata"
+	"repro/internal/trace"
+)
+
+// GroupWant is one file's piece state inside a GroupHello: which pieces
+// the sender holds (Have is a little-endian-within-byte bitset of Total
+// bits) and whether it is actively downloading the file (a requester)
+// or merely holding pieces it can serve.
+type GroupWant struct {
+	URI         metadata.URI
+	Total       int
+	Downloading bool
+	Have        []byte
+}
+
+// haveLen is the bitset byte length for n pieces.
+func haveLen(n int) int { return (n + 7) / 8 }
+
+// NewGroupWant returns a want for total pieces with an all-zero bitset.
+func NewGroupWant(uri metadata.URI, total int, downloading bool) *GroupWant {
+	return &GroupWant{URI: uri, Total: total, Downloading: downloading, Have: make([]byte, haveLen(total))}
+}
+
+// HaveBit reports whether piece i is held.
+func (w *GroupWant) HaveBit(i int) bool {
+	if i < 0 || i >= w.Total {
+		return false
+	}
+	return w.Have[i/8]&(1<<(i%8)) != 0
+}
+
+// SetHave marks piece i as held.
+func (w *GroupWant) SetHave(i int) {
+	if i >= 0 && i < w.Total {
+		w.Have[i/8] |= 1 << (i % 8)
+	}
+}
+
+// Complete reports whether every piece is held.
+func (w *GroupWant) Complete() bool {
+	for i := 0; i < w.Total; i++ {
+		if !w.HaveBit(i) {
+			return false
+		}
+	}
+	return w.Total > 0
+}
+
+// GroupHello announces the sender's broadcast-group view: the members
+// it currently believes form its clique group, the highest schedule
+// round it has seen, and its per-file piece state. A group goes live
+// only once every member's GroupHello lists the same member set.
+type GroupHello struct {
+	From    trace.NodeID
+	Members []trace.NodeID
+	Round   uint64
+	Wants   []GroupWant
+}
+
+// Schedule opens one broadcast round: the sequencer restates the member
+// set it is scheduling for, the round number, and whether the group
+// runs tit-for-tat (cyclic order) or cooperative (coordinator choice).
+type Schedule struct {
+	From      trace.NodeID
+	Members   []trace.NodeID
+	Round     uint64
+	TitForTat bool
+}
+
+// NoPiece marks a Grant that leaves the piece choice to the sender
+// (tit-for-tat: the cyclic order names the sender, the sender picks).
+const NoPiece = int32(-1)
+
+// Grant names the round's one transmitter. URI/Piece pin the piece in
+// the cooperative case; an empty URI with Piece == NoPiece leaves the
+// choice to the granted sender.
+type Grant struct {
+	From  trace.NodeID
+	To    trace.NodeID
+	Round uint64
+	URI   metadata.URI
+	Piece int32
+}
+
+// PieceBcast is one piece transmitted to the whole group at once — the
+// (n-1)/n capacity move of §V. It mirrors Piece plus the sender and
+// round, so receivers can dedup against the pairwise path and trackers
+// can follow the schedule.
+type PieceBcast struct {
+	From  trace.NodeID
+	Round uint64
+	URI   metadata.URI
+	Index int
+	Total int
+	Data  []byte
+}
+
+// AsPiece converts the broadcast to the pairwise piece form so the
+// receive path (verify against stored metadata, store, dedup) is shared.
+func (p *PieceBcast) AsPiece() *Piece {
+	return &Piece{URI: p.URI, Index: p.Index, Total: p.Total, Data: p.Data}
+}
+
+// Type implements Msg.
+func (*GroupHello) Type() MsgType { return TypeGroupHello }
+
+// Type implements Msg.
+func (*Schedule) Type() MsgType { return TypeSchedule }
+
+// Type implements Msg.
+func (*Grant) Type() MsgType { return TypeGrant }
+
+// Type implements Msg.
+func (*PieceBcast) Type() MsgType { return TypePieceBcast }
+
+func encodeMembers(w *buffer, members []trace.NodeID) {
+	w.uint32(uint32(len(members)))
+	for _, id := range members {
+		w.uint32(uint32(id))
+	}
+}
+
+func decodeMembers(r *reader) ([]trace.NodeID, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("member list %d: %w", n, ErrTooLong)
+	}
+	var out []trace.NodeID
+	for i := uint32(0); i < n; i++ {
+		id, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, trace.NodeID(id))
+	}
+	return out, nil
+}
+
+// EncodeGroupHello serializes a group view announcement.
+func EncodeGroupHello(g *GroupHello) []byte {
+	w := header(TypeGroupHello)
+	w.uint32(uint32(g.From))
+	encodeMembers(w, g.Members)
+	w.uint64(g.Round)
+	w.uint32(uint32(len(g.Wants)))
+	for i := range g.Wants {
+		want := &g.Wants[i]
+		w.str(string(want.URI))
+		w.uint32(uint32(want.Total))
+		if want.Downloading {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+		w.bytes(want.Have)
+	}
+	return w.b
+}
+
+// DecodeGroupHello parses a group view announcement.
+func DecodeGroupHello(b []byte) (*GroupHello, error) {
+	r, err := openReader(b, TypeGroupHello)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupHello{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	g.From = trace.NodeID(from)
+	if g.Members, err = decodeMembers(r); err != nil {
+		return nil, err
+	}
+	if g.Round, err = r.uint64(); err != nil {
+		return nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("want list %d: %w", n, ErrTooLong)
+	}
+	for i := uint32(0); i < n; i++ {
+		var want GroupWant
+		uri, err := r.str(maxStrLen)
+		if err != nil {
+			return nil, err
+		}
+		want.URI = metadata.URI(uri)
+		total, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if total > maxListLen {
+			return nil, fmt.Errorf("piece total %d: %w", total, ErrTooLong)
+		}
+		want.Total = int(total)
+		flag, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		switch flag {
+		case 0:
+		case 1:
+			want.Downloading = true
+		default:
+			return nil, fmt.Errorf("downloading flag %d: %w", flag, ErrBadType)
+		}
+		if want.Have, err = r.bytes(maxListLen); err != nil {
+			return nil, err
+		}
+		if len(want.Have) != haveLen(want.Total) {
+			return nil, fmt.Errorf("have bitset %d bytes for %d pieces: %w",
+				len(want.Have), want.Total, ErrTooLong)
+		}
+		g.Wants = append(g.Wants, want)
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return g, nil
+}
+
+// EncodeSchedule serializes a round announcement.
+func EncodeSchedule(s *Schedule) []byte {
+	w := header(TypeSchedule)
+	w.uint32(uint32(s.From))
+	encodeMembers(w, s.Members)
+	w.uint64(s.Round)
+	if s.TitForTat {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+	return w.b
+}
+
+// DecodeSchedule parses a round announcement.
+func DecodeSchedule(b []byte) (*Schedule, error) {
+	r, err := openReader(b, TypeSchedule)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	s.From = trace.NodeID(from)
+	if s.Members, err = decodeMembers(r); err != nil {
+		return nil, err
+	}
+	if s.Round, err = r.uint64(); err != nil {
+		return nil, err
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		s.TitForTat = true
+	default:
+		return nil, fmt.Errorf("tit-for-tat flag %d: %w", flag, ErrBadType)
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return s, nil
+}
+
+// EncodeGrant serializes a transmit grant.
+func EncodeGrant(g *Grant) []byte {
+	w := header(TypeGrant)
+	w.uint32(uint32(g.From))
+	w.uint32(uint32(g.To))
+	w.uint64(g.Round)
+	w.str(string(g.URI))
+	w.uint32(uint32(g.Piece))
+	return w.b
+}
+
+// DecodeGrant parses a transmit grant.
+func DecodeGrant(b []byte) (*Grant, error) {
+	r, err := openReader(b, TypeGrant)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grant{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	g.From = trace.NodeID(from)
+	to, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	g.To = trace.NodeID(to)
+	if g.Round, err = r.uint64(); err != nil {
+		return nil, err
+	}
+	uri, err := r.str(maxStrLen)
+	if err != nil {
+		return nil, err
+	}
+	g.URI = metadata.URI(uri)
+	piece, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	g.Piece = int32(piece)
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return g, nil
+}
+
+// EncodePieceBcast serializes a broadcast piece.
+func EncodePieceBcast(p *PieceBcast) []byte {
+	w := header(TypePieceBcast)
+	w.uint32(uint32(p.From))
+	w.uint64(p.Round)
+	w.str(string(p.URI))
+	w.uint32(uint32(p.Index))
+	w.uint32(uint32(p.Total))
+	w.bytes(p.Data)
+	return w.b
+}
+
+// DecodePieceBcast parses a broadcast piece.
+func DecodePieceBcast(b []byte) (*PieceBcast, error) {
+	r, err := openReader(b, TypePieceBcast)
+	if err != nil {
+		return nil, err
+	}
+	p := &PieceBcast{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.From = trace.NodeID(from)
+	if p.Round, err = r.uint64(); err != nil {
+		return nil, err
+	}
+	uri, err := r.str(maxStrLen)
+	if err != nil {
+		return nil, err
+	}
+	p.URI = metadata.URI(uri)
+	idx, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.Index = int(idx)
+	total, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.Total = int(total)
+	if p.Data, err = r.bytes(maxDataLen); err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return p, nil
+}

@@ -1,12 +1,15 @@
 // Package wire defines the on-air message formats of §III-B and their
-// binary codec. Nodes exchange exactly three kinds of messages:
+// binary codec. Nodes exchange three base message kinds:
 //
 //   - hello beacons — node ID, the IDs heard in the past 5 seconds, the
 //     node's query strings, and the URIs of the files it is downloading;
 //   - metadata records — the discovery phase's payload, carrying the
 //     advisory popularity alongside the signed record;
 //   - file pieces — the download phase's payload, optionally carrying a
-//     piggybacked metadata record (MBT-QM).
+//     piggybacked metadata record (MBT-QM);
+//
+// plus the four broadcast-group messages of §V (group.go): group-hello,
+// schedule, grant, and piece-bcast.
 //
 // The format is a fixed header (magic, version, type) followed by
 // length-prefixed fields in big-endian order. Decoding is strict: junk,
@@ -30,11 +33,16 @@ import (
 // Message type tags.
 type MsgType byte
 
-// The three on-air message kinds.
+// The on-air message kinds: the three base messages of §III-B plus the
+// broadcast-group protocol of §V (see group.go).
 const (
 	TypeHello MsgType = iota + 1
 	TypeMetadata
 	TypePiece
+	TypeGroupHello
+	TypeSchedule
+	TypeGrant
+	TypePieceBcast
 )
 
 // String names the message type.
@@ -46,6 +54,14 @@ func (t MsgType) String() string {
 		return "metadata"
 	case TypePiece:
 		return "piece"
+	case TypeGroupHello:
+		return "group-hello"
+	case TypeSchedule:
+		return "schedule"
+	case TypeGrant:
+		return "grant"
+	case TypePieceBcast:
+		return "piece-bcast"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -262,7 +278,8 @@ func Peek(b []byte) (MsgType, error) {
 	}
 	t := MsgType(b[2])
 	switch t {
-	case TypeHello, TypeMetadata, TypePiece:
+	case TypeHello, TypeMetadata, TypePiece,
+		TypeGroupHello, TypeSchedule, TypeGrant, TypePieceBcast:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("type %d: %w", b[2], ErrBadType)
@@ -475,7 +492,8 @@ func (p *Piece) Verify(rec *metadata.Metadata) bool {
 	return rec.URI == p.URI && rec.VerifyPiece(p.Index, p.Data)
 }
 
-// Msg is any decoded on-air message: *Hello, *Metadata, or *Piece.
+// Msg is any decoded on-air message: *Hello, *Metadata, *Piece, or one
+// of the group messages (*GroupHello, *Schedule, *Grant, *PieceBcast).
 type Msg interface {
 	// Type returns the message's wire type tag.
 	Type() MsgType
@@ -499,6 +517,14 @@ func Encode(m Msg) []byte {
 		return EncodeMetadata(m)
 	case *Piece:
 		return EncodePiece(m)
+	case *GroupHello:
+		return EncodeGroupHello(m)
+	case *Schedule:
+		return EncodeSchedule(m)
+	case *Grant:
+		return EncodeGrant(m)
+	case *PieceBcast:
+		return EncodePieceBcast(m)
 	default:
 		panic(fmt.Sprintf("wire: Encode(%T)", m))
 	}
@@ -519,6 +545,14 @@ func Decode(b []byte) (Msg, error) {
 		m, err = DecodeHello(b)
 	case TypeMetadata:
 		m, err = DecodeMetadata(b)
+	case TypeGroupHello:
+		m, err = DecodeGroupHello(b)
+	case TypeSchedule:
+		m, err = DecodeSchedule(b)
+	case TypeGrant:
+		m, err = DecodeGrant(b)
+	case TypePieceBcast:
+		m, err = DecodePieceBcast(b)
 	default:
 		m, err = DecodePiece(b)
 	}
