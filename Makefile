@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench fuzz chaos chaos-short bcast-soak bcast-soak-short
+.PHONY: check vet test race short bench fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short
 
 check: vet test race
 
@@ -40,6 +40,18 @@ bcast-soak:
 bcast-soak-short:
 	$(GO) test -race -count=1 -short -run TestBcastSoak -v ./internal/daemon
 
+# Crash-recovery soak: the store-level crash-point matrix (every
+# mutating filesystem op) plus the daemon-level scripted kill-and-
+# restart matrix — at each point the node must reopen its data dir to a
+# consistent prefix, resume the download, and never be re-sent a
+# persisted piece. crash-soak-short trims the daemon matrix to the
+# first append and the first snapshot commit.
+crash-soak:
+	$(GO) test -race -count=1 -run 'TestCrashPointMatrix|TestShortWriteRepair|TestCrashRecoverySoak|TestRestartResume|TestLocalhostRestartDemo' -v ./internal/fault ./internal/daemon ./cmd/mbtd
+
+crash-soak-short:
+	$(GO) test -race -count=1 -short -run 'TestCrashRecoverySoak|TestRestartResume' -v ./internal/daemon
+
 # The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x .
@@ -48,3 +60,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s ./internal/experiment
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 30s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/store

@@ -16,6 +16,12 @@
 // Watch `curl 127.0.0.1:8002/stats` until the download shows under
 // "completed". SIGINT/SIGTERM shut the daemon down gracefully.
 //
+// With -data-dir the node's state — verified pieces, metadata, credit,
+// quarantines — is persisted through a write-ahead log and survives a
+// kill: restart the same command line and the daemon resumes where it
+// died, advertising its recovered pieces so peers never re-send them.
+// Recovery details appear under "recovery" in /healthz.
+//
 // With -bcast on three or more fully-meshed daemons, the nodes derive
 // their clique from overheard hellos and switch to the §V broadcast
 // group schedule: one granted sender per round ships each piece to the
@@ -74,16 +80,33 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		bcastOn  = fs.Bool("bcast", false, "run the broadcast-group schedule: cliques of 3+ fully-meshed nodes download via one granted sender per round")
 		tft      = fs.Bool("tft", false, "with -bcast, use the tit-for-tat cyclic order instead of the cooperative coordinator")
 		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
+		dataDir  = fs.String("data-dir", "", "persist node state here (WAL + snapshots); restart resumes from it")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flag-validation failures print usage and exit non-zero: a daemon
+	// with a bad spec must die now, not after it has joined the mesh.
+	fail := func(format string, a ...any) error {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(logw, "mbtd: %v\n", err)
+		fs.Usage()
+		return err
+	}
 	if *id < 0 {
-		return fmt.Errorf("-id is required and must be >= 0")
+		return fail("-id is required and must be >= 0")
 	}
 	if *listen == "" && *peers == "" {
-		return fmt.Errorf("need -listen and/or -peers; a daemon with neither has no links")
+		return fail("need -listen and/or -peers; a daemon with neither has no links")
+	}
+	if *dataDir != "" {
+		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
+			return fail("-data-dir %q is a file, not a directory", *dataDir)
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return fail("-data-dir: %v", err)
+		}
 	}
 
 	logger := log.New(logw, fmt.Sprintf("mbtd[%d] ", *id), log.LstdFlags|log.Lmsgprefix)
@@ -97,7 +120,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if *faultArg != "" {
 		fcfg, err := fault.ParseSpec(*faultArg)
 		if err != nil {
-			return fmt.Errorf("-fault: %w", err)
+			return fail("-fault: %v", err)
 		}
 		chaos = fault.Wrap(tr, fcfg)
 		tr = chaos
@@ -120,6 +143,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		EnableBcast:    *bcastOn,
 		TitForTat:      *tft,
 		Fault:          chaos,
+		DataDir:        *dataDir,
 		Logf:           logf,
 	}
 	d, err := daemon.New(cfg)
@@ -142,8 +166,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		logger.Printf("stats at http://%s/stats", *httpAddr)
 	}
 
-	logger.Printf("node %d up: listen=%q peers=%v internet=%v files=%d queries=%v",
-		*id, *listen, cfg.PeerAddrs, *internet, *files, cfg.Queries)
+	if *dataDir != "" {
+		if h := d.Health(); h.Recovery != nil && h.Recovery.Recovered {
+			logger.Printf("recovered state from %s: %d snapshot + %d wal records (%d torn bytes dropped)",
+				*dataDir, h.Recovery.SnapshotRecords, h.Recovery.WALRecords, h.Recovery.TornBytes)
+		}
+	}
+	logger.Printf("node %d up: listen=%q peers=%v internet=%v files=%d queries=%v data-dir=%q",
+		*id, *listen, cfg.PeerAddrs, *internet, *files, cfg.Queries, *dataDir)
 	err = d.Run(ctx)
 	if chaos != nil {
 		logger.Printf("fault injector: %+v", chaos.Stats())

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -22,6 +25,46 @@ func TestFlagValidation(t *testing.T) {
 	if err := run(ctx, []string{"-id", "1"}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "-listen") {
 		t.Fatalf("missing links: %v", err)
+	}
+}
+
+// TestBadFlagCombos feeds run() invalid flag combinations and checks
+// each one dies immediately with an error naming the bad flag and a
+// usage dump — the daemon must never limp onto the mesh misconfigured.
+func TestBadFlagCombos(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantSub string
+	}{
+		{"missing id", []string{"-listen", "127.0.0.1:0"}, "-id"},
+		{"negative id", []string{"-id", "-3", "-listen", "127.0.0.1:0"}, "-id"},
+		{"no links", []string{"-id", "1"}, "-listen"},
+		{"fault drop out of range", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fault", "drop=1.5"}, "-fault"},
+		{"fault unknown key", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fault", "banana=1"}, "-fault"},
+		{"fault bad partition", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fault", "partition=zzz"}, "-fault"},
+		{"data-dir is a file", []string{"-id", "1", "-listen", "127.0.0.1:0", "-data-dir", file}, "-data-dir"},
+		{"data-dir under a file", []string{"-id", "1", "-listen", "127.0.0.1:0", "-data-dir", filepath.Join(file, "sub")}, "-data-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(context.Background(), tc.args, &buf)
+			if err == nil {
+				t.Fatalf("accepted %v", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %q", err, tc.wantSub)
+			}
+			if out := buf.String(); !strings.Contains(out, "Usage of mbtd") {
+				t.Fatalf("no usage dump in output:\n%s", out)
+			}
+		})
 	}
 }
 
@@ -254,6 +297,112 @@ func TestLocalhostDemoUnderFaults(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		select {
 		case err := <-errs:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+// TestLocalhostRestartDemo is the README durability walkthrough as a
+// test: a leecher with -data-dir is killed mid-download, restarted on
+// the same directory, and must report recovered state over /healthz,
+// finish the file, and never be re-sent a piece it already persisted.
+func TestLocalhostRestartDemo(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dataDir := t.TempDir()
+
+	seedPeer, leechHTTP := freePort(t), freePort(t)
+	seedErr := make(chan error, 1)
+	go func() {
+		// 512 × 4 KB pieces: at 16 pieces per hello burst the transfer
+		// spans dozens of hellos, leaving a wide window to kill into.
+		seedErr <- run(ctx, []string{
+			"-id", "1", "-listen", seedPeer, "-internet", "-files", "1",
+			"-file-size", "2097152", "-piece-size", "4096",
+			"-hello", "20ms", "-quiet",
+		}, io.Discard)
+	}()
+
+	leechArgs := []string{
+		"-id", "2", "-peers", seedPeer, "-query", "f0",
+		"-http", leechHTTP, "-hello", "20ms", "-data-dir", dataDir, "-quiet",
+	}
+	ctx1, cancel1 := context.WithCancel(ctx)
+	leechErr := make(chan error, 1)
+	go func() { leechErr <- run(ctx1, leechArgs, io.Discard) }()
+
+	type stats struct {
+		Completed       map[string]bool `json:"completed"`
+		PiecesVerified  uint64          `json:"pieces_verified"`
+		PiecesRefetched uint64          `json:"pieces_refetched"`
+	}
+	poll := func() (st stats, ok bool) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/stats", leechHTTP))
+		if err != nil {
+			return st, false
+		}
+		defer resp.Body.Close()
+		return st, json.NewDecoder(resp.Body).Decode(&st) == nil
+	}
+
+	// Kill the leecher once a strict prefix of the 512 pieces is durable.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("download never started")
+		}
+		if st, ok := poll(); ok && st.PiecesVerified >= 16 && st.PiecesVerified <= 256 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel1()
+	if err := <-leechErr; err != nil && err != context.Canceled {
+		t.Fatalf("leech first run: %v", err)
+	}
+
+	// Same command line, same directory: the restart resumes.
+	go func() { leechErr <- run(ctx, leechArgs, io.Discard) }()
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted download never completed")
+		}
+		if st, ok := poll(); ok && st.Completed["dtn://files/0"] {
+			if st.PiecesRefetched != 0 {
+				t.Fatalf("restarted daemon was re-sent %d persisted pieces", st.PiecesRefetched)
+			}
+			if st.PiecesVerified >= 512 {
+				t.Fatalf("restart re-verified all %d pieces; recovery did not restore any", st.PiecesVerified)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var health struct {
+		Recovery *struct {
+			Recovered bool `json:"recovered"`
+		} `json:"recovery"`
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", leechHTTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health.Recovery == nil || !health.Recovery.Recovered {
+		t.Fatalf("healthz does not report recovery: %+v", health)
+	}
+
+	cancel()
+	for _, ch := range []chan error{seedErr, leechErr} {
+		select {
+		case err := <-ch:
 			if err != nil && err != context.Canceled {
 				t.Fatalf("shutdown: %v", err)
 			}

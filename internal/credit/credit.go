@@ -43,6 +43,12 @@ func (l *Ledger) RewardUnrequested(peer trace.NodeID, popularity float64) {
 	l.credits[peer] += popularity
 }
 
+// Add applies a raw credit delta — the restart path replaying a
+// persisted ledger. Live rewards go through the Reward helpers.
+func (l *Ledger) Add(peer trace.NodeID, delta float64) {
+	l.credits[peer] += delta
+}
+
 // WeightRequest returns the weight of a request set: the summed credit of
 // the requesting nodes. Requests from zero-credit peers weigh zero.
 func (l *Ledger) WeightRequest(requesters []trace.NodeID) float64 {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/bcast"
+	"repro/internal/credit"
 	"repro/internal/fault"
 	"repro/internal/hello"
 	"repro/internal/metadata"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/server"
 	"repro/internal/simtime"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -157,6 +159,20 @@ type Config struct {
 	// Fault, when the transport is wrapped in a fault injector, surfaces
 	// its counters under /stats.
 	Fault *fault.Transport
+	// DataDir, when non-empty, persists node state — verified pieces,
+	// learned metadata, the credit ledger, quarantine penalties — to a
+	// crash-consistent WAL+snapshot store (internal/store). Every event
+	// is fsynced before it takes effect in memory, and a restart against
+	// the same directory resumes downloads from the persisted state: the
+	// first hello advertises the recovered have-bitmaps, so peers never
+	// re-send a piece that survived the crash.
+	DataDir string
+	// StoreFS overrides the store's filesystem (fault injection); nil
+	// uses the OS.
+	StoreFS store.FS
+	// StoreCompactEvery overrides the store's auto-compaction threshold
+	// in bytes (0 = store default, negative disables).
+	StoreCompactEvery int64
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -190,13 +206,28 @@ type Stats struct {
 	QuarantineDrops uint64         `json:"quarantine_drops"`
 	// PiecesSuppressed counts pairwise piece serves skipped because the
 	// requester is a confirmed group member (the schedule serves it).
-	PiecesSuppressed uint64      `json:"pieces_suppressed"`
-	Peers            []peer.Info `json:"peers"`
-	Transport        peer.Stats  `json:"transport"`
+	PiecesSuppressed uint64 `json:"pieces_suppressed"`
+	// PiecesSkippedHeld counts serves skipped because the peer's hello
+	// have-bitmap already marked the piece held — e.g. pieces a restarted
+	// peer recovered from its data directory.
+	PiecesSkippedHeld uint64      `json:"pieces_skipped_held"`
+	Peers             []peer.Info `json:"peers"`
+	Transport         peer.Stats  `json:"transport"`
 	// Bcast is the group engine's state (with EnableBcast).
 	Bcast *bcast.Stats `json:"bcast,omitempty"`
 	// Fault is the injector's counters (with Config.Fault).
 	Fault *fault.Stats `json:"fault,omitempty"`
+	// Store is the durable store's counters, including what recovery
+	// replayed (with Config.DataDir).
+	Store *store.Stats `json:"store,omitempty"`
+	// PiecesRefetched counts verified pieces received over the wire that
+	// the restored state already held. The crash-recovery invariant is
+	// that this stays zero: persisted pieces are advertised in the hello
+	// have-bitmap and peers never re-serve them.
+	PiecesRefetched uint64 `json:"pieces_refetched"`
+	// StoreErrors counts events dropped because their durable append
+	// failed; the protocol's re-drive retries them.
+	StoreErrors uint64 `json:"store_errors"`
 }
 
 // sentState tracks what this daemon already pushed to one peer and
@@ -234,6 +265,7 @@ type Daemon struct {
 	mgr     *peer.Manager
 	catalog *server.Safe  // nil unless InternetAccess
 	bcast   *bcast.Engine // nil unless EnableBcast
+	store   *store.Store  // nil unless DataDir
 	epoch   time.Time
 	outbox  chan outMsg
 
@@ -246,13 +278,15 @@ type Daemon struct {
 	completed  map[metadata.URI]bool
 	downloads  map[metadata.URI]*downloadState
 	offenders  map[trace.NodeID]*offender
+	restored   map[metadata.URI][]bool // pieces recovered from DataDir
 	lastPeerAt time.Time
 	counters   struct {
 		piecesVerified, piecesRejected, piecesNoMeta uint64
 		piecesDuplicate, piecesResent                uint64
 		badSignatures, outboxDrops                   uint64
 		stalls, redrives, quarantineDrops            uint64
-		piecesSuppressed                             uint64
+		piecesSuppressed, piecesSkippedHeld          uint64
+		piecesRefetched, storeErrors                 uint64
 	}
 }
 
@@ -319,6 +353,19 @@ func New(cfg Config) (*Daemon, error) {
 		completed: make(map[metadata.URI]bool),
 		downloads: make(map[metadata.URI]*downloadState),
 		offenders: make(map[trace.NodeID]*offender),
+		restored:  make(map[metadata.URI][]bool),
+	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:          cfg.DataDir,
+			FS:           cfg.StoreFS,
+			CompactEvery: cfg.StoreCompactEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: open data dir: %w", err)
+		}
+		d.store = st
+		d.restore(st.State())
 	}
 	if cfg.InternetAccess {
 		cat, err := server.NewSafe(cfg.InternetNodes)
@@ -383,12 +430,87 @@ func (d *Daemon) logf(format string, args ...any) {
 	}
 }
 
-// helloContent supplies the beacon payload: own queries and the files
-// still being downloaded.
-func (d *Daemon) helloContent() ([]string, []metadata.URI) {
+// helloContent supplies the beacon payload: own queries, the files
+// still being downloaded, and per-file have-bitmaps so peers serve only
+// missing pieces. The bitmap matters most after a restart: pieces
+// recovered from the data directory are advertised from the first
+// beacon, so no peer ever re-sends what already survived the crash.
+func (d *Daemon) helloContent() ([]string, []metadata.URI, []wire.GroupWant) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.node.Queries(d.now()), d.node.WantedIncomplete()
+	downloading := d.node.WantedIncomplete()
+	have := make([]wire.GroupWant, 0, len(downloading))
+	for _, uri := range downloading {
+		ps := d.node.Pieces(uri)
+		if ps == nil {
+			continue
+		}
+		w := wire.NewGroupWant(uri, ps.Total(), true)
+		for i := 0; i < ps.Total(); i++ {
+			if ps.Have(i) {
+				w.SetHave(i)
+			}
+		}
+		have = append(have, *w)
+	}
+	return d.node.Queries(d.now()), downloading, have
+}
+
+// restore folds the recovered durable state back into the runtime: the
+// node re-learns persisted metadata and pieces, interrupted downloads
+// are re-selected so the next hello advertises them (with have-bitmaps
+// covering everything recovered), the credit ledger is replayed, and
+// quarantine penalties still in the future are re-armed. Called from
+// New before any I/O starts, so no lock is needed.
+func (d *Daemon) restore(st *store.State) {
+	now := d.now()
+	for uri, f := range st.Files {
+		if f.Meta != nil {
+			d.node.AddMetadata(f.Meta.Clone(), f.Popularity, now)
+		}
+		held := make([]bool, f.Total)
+		for i, have := range f.Have {
+			if have {
+				d.node.AddPiece(uri, i, f.Total)
+				held[i] = true
+			}
+		}
+		d.restored[uri] = held
+		if f.Selected {
+			if d.node.HasFullFile(uri) {
+				d.completed[uri] = true
+			} else if d.node.Select(uri) {
+				d.downloads[uri] = &downloadState{}
+			}
+		}
+	}
+	for p, c := range st.Credit {
+		d.node.Ledger.Add(p, c)
+	}
+	wall := time.Now()
+	for p, q := range st.Quarantine {
+		until := time.UnixMilli(q.UntilUnixMilli)
+		if until.After(wall) {
+			d.offenders[p] = &offender{strikes: q.Strikes, until: until, lastBad: wall}
+		}
+	}
+}
+
+// persist appends one record to the durable store, if configured,
+// returning whether the event may take effect. The caller holds d.mu;
+// the fsync inside Append is the cost of "acknowledged means durable".
+// On failure the event must be dropped — the protocol's hello re-drive
+// will deliver it again — so memory never runs ahead of disk.
+func (d *Daemon) persist(rec store.Record) bool {
+	if d.store == nil {
+		return true
+	}
+	if err := d.store.Append(rec); err != nil {
+		d.counters.storeErrors++
+		d.logf("daemon %d: store append %v: %v", d.cfg.ID, rec.RecordKind(), err)
+		return false
+	}
+	return true
 }
 
 // Addr returns the bound listen address once Run has started listening
@@ -469,6 +591,15 @@ func (d *Daemon) Run(ctx context.Context) error {
 	cancel()
 	d.mgr.Close()
 	wg.Wait()
+	if d.store != nil {
+		// Graceful shutdown flush: fold the WAL into a snapshot so the
+		// next start replays one compact image instead of a long log.
+		// Every record is already fsynced, so a failure here loses
+		// nothing — the WAL remains the source of truth.
+		if err := d.store.Close(); err != nil {
+			d.logf("daemon %d: store close: %v", d.cfg.ID, err)
+		}
+	}
 	return ctx.Err()
 }
 
@@ -625,6 +756,9 @@ func (d *Daemon) Stats() Stats {
 		RetryBudget:             d.cfg.RetryBudget,
 		QuarantineDrops:         d.counters.quarantineDrops,
 		PiecesSuppressed:        d.counters.piecesSuppressed,
+		PiecesSkippedHeld:       d.counters.piecesSkippedHeld,
+		PiecesRefetched:         d.counters.piecesRefetched,
+		StoreErrors:             d.counters.storeErrors,
 	}
 	for _, uri := range d.node.WantedIncomplete() {
 		st.Downloading = append(st.Downloading, string(uri))
@@ -659,6 +793,10 @@ func (d *Daemon) Stats() Stats {
 	if d.cfg.Fault != nil {
 		fs := d.cfg.Fault.Stats()
 		st.Fault = &fs
+	}
+	if d.store != nil {
+		ss := d.store.Stats()
+		st.Store = &ss
 	}
 	return st
 }
@@ -726,8 +864,14 @@ func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
 		d.counters.piecesSuppressed += uint64(len(msg.Downloading))
 		d.mu.Unlock()
 	} else {
+		// Index the peer's have-bitmaps so the serve loop can skip pieces
+		// it already holds (e.g. everything it recovered from disk).
+		peerHave := make(map[metadata.URI]*wire.GroupWant, len(msg.Have))
+		for i := range msg.Have {
+			peerHave[msg.Have[i].URI] = &msg.Have[i]
+		}
 		for _, uri := range msg.Downloading {
-			out = append(out, d.servePieces(from, uri)...)
+			out = append(out, d.servePieces(from, uri, peerHave[uri])...)
 		}
 	}
 	for _, m := range out {
@@ -768,8 +912,10 @@ func (d *Daemon) answerQuery(now simtime.Time, from trace.NodeID, q string) []wi
 // whose push is older than ResendAfter while the peer still advertises
 // the download: the advertisement is the implicit NACK, and the
 // per-piece deadline is the live retransmit path for lost or corrupted
-// frames.
-func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
+// frames. peerHave, when non-nil, is the peer's advertised bitmap for
+// uri; pieces it already marks held are never served, so a restarted
+// downloader's persisted pieces cross the wire zero times.
+func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI, peerHave *wire.GroupWant) []wire.Msg {
 	now := d.now()
 	var rec *metadata.Metadata
 	if d.catalog != nil {
@@ -811,8 +957,13 @@ func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
 	total := rec.NumPieces()
 	var idxs []int
 	resent := 0
+	skippedHeld := 0
 	for i := 0; i < total && len(idxs) < d.cfg.PiecesPerHello; i++ {
 		if !canServe(i) {
+			continue
+		}
+		if peerHave != nil && peerHave.HaveBit(i) {
+			skippedHeld++
 			continue
 		}
 		at, pushed := sent[i]
@@ -824,6 +975,7 @@ func (d *Daemon) servePieces(from trace.NodeID, uri metadata.URI) []wire.Msg {
 		}
 		idxs = append(idxs, i)
 	}
+	d.counters.piecesSkippedHeld += uint64(skippedHeld)
 	if len(idxs) == 0 {
 		d.mu.Unlock()
 		return nil
@@ -864,20 +1016,37 @@ func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
 		return
 	}
 	d.mu.Lock()
-	added := d.node.AddMetadata(rec, m.Popularity, now)
+	// Decide the full effect first so one durable record captures it:
+	// a new record, a selection, or both.
 	selected := false
 	if d.cfg.FetchMatching && !d.completed[rec.URI] {
 		for _, q := range d.node.Queries(now) {
 			if rec.MatchesQuery(q) {
 				if ps := d.node.Pieces(rec.URI); ps == nil || !ps.Complete() {
-					d.node.Select(rec.URI)
 					selected = true
-					if d.downloads[rec.URI] == nil {
-						d.downloads[rec.URI] = &downloadState{lastProgress: time.Now()}
-					}
 				}
 				break
 			}
+		}
+	}
+	isNew := !d.node.HasMetadata(rec.URI)
+	wanted := false
+	if ps := d.node.Pieces(rec.URI); ps != nil && ps.Want {
+		wanted = true
+	}
+	if isNew || (selected && !wanted) {
+		// Log before apply (see onPiece); re-learned records and repeat
+		// selections change nothing durable and are not re-logged.
+		if !d.persist(&store.MetadataRecord{Popularity: m.Popularity, Meta: *rec, Selected: selected}) {
+			d.mu.Unlock()
+			return
+		}
+	}
+	added := d.node.AddMetadata(rec, m.Popularity, now)
+	if selected {
+		d.node.Select(rec.URI)
+		if d.downloads[rec.URI] == nil {
+			d.downloads[rec.URI] = &downloadState{lastProgress: time.Now()}
 		}
 	}
 	d.mu.Unlock()
@@ -914,6 +1083,14 @@ func (d *Daemon) bumpBadSignature(from trace.NodeID) {
 		}
 		penalty = d.cfg.QuarantineBase * (1 << doublings)
 		off.until = wall.Add(penalty)
+		// Best effort: the penalty protects this node either way, but a
+		// persisted one survives a restart, so an offender cannot reset
+		// its sentence by crashing its victim.
+		d.persist(&store.QuarantineRecord{
+			Peer:           from,
+			Strikes:        off.strikes,
+			UntilUnixMilli: off.until.UnixMilli(),
+		})
 	}
 	d.mu.Unlock()
 	if penalty > 0 {
@@ -944,17 +1121,43 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 		d.mu.Unlock()
 		return
 	}
-	added := d.node.AddPiece(p.URI, p.Index, sm.Meta.NumPieces())
+	total := sm.Meta.NumPieces()
+	ps := d.node.Pieces(p.URI)
+	isNew := ps == nil || !ps.Have(p.Index)
+	added := false
+	if isNew {
+		// Log before apply: the piece becomes part of the node's state —
+		// and of the next hello's have-bitmap — only once it is fsynced.
+		// A failed append drops the piece; the sender's resend deadline
+		// re-delivers it.
+		if !d.persist(&store.PieceRecord{URI: p.URI, Index: p.Index, Total: total}) {
+			d.mu.Unlock()
+			return
+		}
+		added = d.node.AddPiece(p.URI, p.Index, total)
+	}
 	if added {
 		d.counters.piecesVerified++
 		if ds := d.downloads[p.URI]; ds != nil {
 			ds.lastProgress = time.Now()
+		}
+		// Useful delivery earns tit-for-tat credit (§IV-B), durably: the
+		// ledger survives restarts, so standing is not wiped by a crash.
+		if cur := d.node.Pieces(p.URI); cur != nil && cur.Want {
+			if d.persist(&store.CreditRecord{Peer: from, Delta: credit.RequestedReward}) {
+				d.node.Ledger.RewardRequested(from)
+			}
 		}
 	} else {
 		// A duplicate of a piece already held: the injector's Duplicate
 		// fault and the resend deadline both produce these; dedup is
 		// free because AddPiece is idempotent.
 		d.counters.piecesDuplicate++
+		if held := d.restored[p.URI]; p.Index < len(held) && held[p.Index] {
+			// A piece recovered from disk came over the wire again — the
+			// have-bitmap advertisement should make this impossible.
+			d.counters.piecesRefetched++
+		}
 	}
 	justDone := added && d.node.HasFullFile(p.URI) && !d.completed[p.URI]
 	if justDone {

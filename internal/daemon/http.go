@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -19,6 +20,12 @@ type Health struct {
 	Peers         int          `json:"peers"`
 	OutboxLen     int          `json:"outbox_len"`
 	OutboxCap     int          `json:"outbox_cap"`
+	// Recovery reports what the durable store replayed at start (only
+	// with a data directory configured); WALSizeBytes is the live log
+	// size. A store that went read-only after an unrepaired write
+	// failure degrades the daemon.
+	Recovery     *store.RecoveryStats `json:"recovery,omitempty"`
+	WALSizeBytes int64                `json:"wal_size_bytes,omitempty"`
 }
 
 // Health evaluates the daemon's liveness: degraded when it has had zero
@@ -52,6 +59,15 @@ func (d *Daemon) Health() Health {
 	if h.OutboxLen >= h.OutboxCap {
 		h.Reasons = append(h.Reasons,
 			fmt.Sprintf("outbox saturated (%d/%d queued, dropping)", h.OutboxLen, h.OutboxCap))
+	}
+	if d.store != nil {
+		ss := d.store.Stats()
+		h.Recovery = &ss.Recovery
+		h.WALSizeBytes = ss.WALSize
+		if ss.Broken {
+			h.Reasons = append(h.Reasons,
+				"durable store is read-only (unrepaired WAL write failure); state changes are not persisting")
+		}
 	}
 	if len(h.Reasons) > 0 {
 		h.Status = "degraded"

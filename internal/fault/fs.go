@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// Filesystem fault injection: WrapFS decorates a store.FS the way Wrap
+// decorates a transport, extending the chaos model from the network to
+// the disk. Two fault families are injected, both driven by a seeded
+// RNG so a failing run replays exactly:
+//
+//   - Background faults: ShortWrite persists only a random prefix of a
+//     write and errors (ENOSPC, EIO mid-buffer); SyncFail makes an
+//     fsync report failure. Both leave the FS alive, exercising the
+//     store's truncate-back repair path.
+//
+//   - Crash-at-point: CrashAtOp names the 1-based mutating operation
+//     (write, sync, truncate, rename, remove) at which the process
+//     "dies". The crashing write persists a random prefix — the torn
+//     write a real crash mid-append leaves — a crashing rename or sync
+//     simply does not happen, and every operation afterwards fails
+//     with ErrCrashed. The caller then discards the daemon, reopens
+//     the data directory with a clean FS, and asserts recovery.
+//
+// The model is fail-stop with torn writes: bytes a successful Write
+// reported written are durable. Loss of written-but-unsynced data is
+// approximated by the torn-write prefix at the crash point itself,
+// which is exactly the window the WAL's frame CRCs must cover.
+type FSConfig struct {
+	// Seed drives the prefix lengths and background fault decisions.
+	Seed uint64
+	// ShortWrite is the probability a Write persists a prefix and fails.
+	ShortWrite float64
+	// SyncFail is the probability a Sync reports failure.
+	SyncFail float64
+	// CrashAtOp, when > 0, kills the filesystem at that mutating op.
+	CrashAtOp int64
+}
+
+// Injected filesystem errors.
+var (
+	// ErrCrashed reports any operation at or past the crash point.
+	ErrCrashed = errors.New("fault: fs crashed")
+	// ErrInjectedWrite reports a short write.
+	ErrInjectedWrite = errors.New("fault: injected short write")
+	// ErrInjectedSync reports an fsync failure.
+	ErrInjectedSync = errors.New("fault: injected fsync error")
+)
+
+// FSStats counts filesystem activity and injected faults.
+type FSStats struct {
+	Ops         int64 `json:"ops"`
+	Writes      int64 `json:"writes"`
+	Syncs       int64 `json:"syncs"`
+	Renames     int64 `json:"renames"`
+	ShortWrites int64 `json:"short_writes"`
+	SyncFails   int64 `json:"sync_fails"`
+	Crashed     bool  `json:"crashed"`
+}
+
+// FS wraps a store.FS with fault injection. Construct with WrapFS.
+type FS struct {
+	inner store.FS
+	cfg   FSConfig
+
+	mu        sync.Mutex
+	rng       *rng.Rand
+	ops       int64
+	crashed   bool
+	stats     FSStats
+	renameOps []int64
+}
+
+// WrapFS decorates inner per cfg.
+func WrapFS(inner store.FS, cfg FSConfig) *FS {
+	return &FS{inner: inner, cfg: cfg, rng: rng.New(cfg.Seed ^ 0xF5)}
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Stats snapshots the counters.
+func (f *FS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Ops = f.ops
+	st.Crashed = f.crashed
+	return st
+}
+
+// op accounts one mutating operation and resolves the crash schedule:
+// it returns crashNow on exactly the CrashAtOp-th op (the op takes its
+// torn partial effect) and ErrCrashed for every op after.
+type opVerdict int
+
+const (
+	opOK opVerdict = iota
+	opCrashNow
+	opDead
+)
+
+func (f *FS) op(count *int64) (opVerdict, int64, *rng.Rand) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return opDead, 0, nil
+	}
+	f.ops++
+	if count != nil {
+		*count++
+	}
+	if f.cfg.CrashAtOp > 0 && f.ops >= f.cfg.CrashAtOp {
+		f.crashed = true
+		return opCrashNow, f.ops, f.rng
+	}
+	return opOK, f.ops, f.rng
+}
+
+// RenameOps returns the op-clock indices at which renames ran. A probe
+// run uses them to script a later crash exactly at a snapshot commit.
+func (f *FS) RenameOps() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.renameOps...)
+}
+
+// OpenFile implements store.FS. Opens are not mutating and do not
+// advance the op clock, but a crashed FS refuses them.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if f.Crashed() {
+		return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Rename implements store.FS; a crash here means the rename never
+// happened (the commit point of a snapshot was not reached).
+func (f *FS) Rename(oldpath, newpath string) error {
+	verdict, idx, _ := f.op(&f.stats.Renames)
+	if verdict != opOK {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrCrashed)
+	}
+	f.mu.Lock()
+	f.renameOps = append(f.renameOps, idx)
+	f.mu.Unlock()
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(name string) error {
+	verdict, _, _ := f.op(nil)
+	if verdict != opOK {
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements store.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if f.Crashed() {
+		return fmt.Errorf("mkdir %s: %w", path, ErrCrashed)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Stat implements store.FS.
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	if f.Crashed() {
+		return nil, fmt.Errorf("stat %s: %w", name, ErrCrashed)
+	}
+	return f.inner.Stat(name)
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(path string) error {
+	verdict, _, _ := f.op(&f.stats.Syncs)
+	if verdict != opOK {
+		return fmt.Errorf("syncdir %s: %w", path, ErrCrashed)
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile decorates one open file.
+type faultFile struct {
+	fs    *FS
+	name  string
+	inner store.File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.fs.Crashed() {
+		return 0, fmt.Errorf("read %s: %w", ff.name, ErrCrashed)
+	}
+	return ff.inner.Read(p)
+}
+
+// Write persists p, subject to the fault schedule: at the crash point
+// or on a ShortWrite draw only a seeded prefix reaches the file, and
+// the call errors.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	verdict, _, rnd := ff.fs.op(&ff.fs.stats.Writes)
+	switch verdict {
+	case opDead:
+		return 0, fmt.Errorf("write %s: %w", ff.name, ErrCrashed)
+	case opCrashNow:
+		n := 0
+		if len(p) > 0 {
+			ff.fs.mu.Lock()
+			n = rnd.Intn(len(p))
+			ff.fs.mu.Unlock()
+		}
+		ff.inner.Write(p[:n])
+		return n, fmt.Errorf("write %s (torn at %d/%d): %w", ff.name, n, len(p), ErrCrashed)
+	}
+	ff.fs.mu.Lock()
+	short := ff.fs.cfg.ShortWrite > 0 && rnd.Float64() < ff.fs.cfg.ShortWrite
+	n := 0
+	if short && len(p) > 0 {
+		n = rnd.Intn(len(p))
+		ff.fs.stats.ShortWrites++
+	}
+	ff.fs.mu.Unlock()
+	if short {
+		if n > 0 {
+			ff.inner.Write(p[:n])
+		}
+		return n, fmt.Errorf("write %s (%d/%d): %w", ff.name, n, len(p), ErrInjectedWrite)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	verdict, _, rnd := ff.fs.op(&ff.fs.stats.Syncs)
+	switch verdict {
+	case opDead, opCrashNow:
+		return fmt.Errorf("sync %s: %w", ff.name, ErrCrashed)
+	}
+	ff.fs.mu.Lock()
+	fail := ff.fs.cfg.SyncFail > 0 && rnd.Float64() < ff.fs.cfg.SyncFail
+	if fail {
+		ff.fs.stats.SyncFails++
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync %s: %w", ff.name, ErrInjectedSync)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	verdict, _, _ := ff.fs.op(nil)
+	if verdict != opOK {
+		return fmt.Errorf("truncate %s: %w", ff.name, ErrCrashed)
+	}
+	return ff.inner.Truncate(size)
+}
+
+// Close always reaches the real file so tests never leak descriptors.
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -67,9 +67,10 @@ type Config struct {
 	// Self is this node's identity, announced in every hello.
 	Self trace.NodeID
 	// Hello supplies the node's current beacon content: active query
-	// strings and the URIs being downloaded. Called on every beacon;
+	// strings, the URIs being downloaded, and the per-file have-bitmaps
+	// advertising which pieces are already held. Called on every beacon;
 	// must be safe for concurrent use.
-	Hello func() (queries []string, downloading []metadata.URI)
+	Hello func() (queries []string, downloading []metadata.URI, have []wire.GroupWant)
 	// Handler receives peer messages; nil handlers drop them.
 	Handler Handler
 	// HelloInterval, LivenessWindow, HandshakeTimeout default to the
@@ -164,7 +165,7 @@ func NewManager(cfg Config) *Manager {
 		cfg.FlapThreshold = cfg.LivenessWindow
 	}
 	if cfg.Hello == nil {
-		cfg.Hello = func() ([]string, []metadata.URI) { return nil, nil }
+		cfg.Hello = func() ([]string, []metadata.URI, []wire.GroupWant) { return nil, nil, nil }
 	}
 	return &Manager{
 		cfg:       cfg,
@@ -182,12 +183,13 @@ func (m *Manager) logf(format string, args ...any) {
 
 // helloMsg builds the current beacon.
 func (m *Manager) helloMsg() *wire.Hello {
-	queries, downloading := m.cfg.Hello()
+	queries, downloading, have := m.cfg.Hello()
 	return &wire.Hello{
 		From:        m.cfg.Self,
 		Heard:       m.Peers(),
 		Queries:     queries,
 		Downloading: downloading,
+		Have:        have,
 	}
 }
 

@@ -86,3 +86,68 @@ func publishFiles(t *testing.T, c *Safe, firstID, n int, now simtime.Time) []*me
 	}
 	return out
 }
+
+// TestSafeCloneIsolation locks in the clone-under-lock contract: every
+// record Safe hands out is a private copy, so callers may mutate it and
+// lazily token-cache it (MatchesQuery) while other goroutines look up,
+// match, and re-query the same URI. Run under -race, a single shared
+// (non-cloned) record would trip both the race detector and the
+// pristine-catalog assertions below.
+func TestSafeCloneIsolation(t *testing.T) {
+	c, err := NewSafe(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := simtime.At(0, simtime.FileGenerationOffset)
+	seed := publishFiles(t, c, 0, 2, now)
+	uri := seed[0].URI
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch w % 3 {
+				case 0: // vandal: mutates its clone in place
+					m, err := c.Lookup(uri)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					m.Name = "defaced"
+					m.Description = "defaced"
+					m.MatchesQuery("defaced")
+				case 1: // matcher: token-caches query results concurrently
+					for _, m := range c.Query(now, "file story", 5) {
+						m.MatchesQuery("story")
+						m.MatchesQuery("file")
+					}
+				case 2: // reader: the catalog's copy must stay pristine
+					m, err := c.Lookup(uri)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if m.Name != "file story" {
+						t.Errorf("catalog record mutated through a clone: %q", m.Name)
+						return
+					}
+					for _, m := range c.Top(now, 3) {
+						m.MatchesQuery("story")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	m, err := c.Lookup(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "file story" || m.Description != "a story file" {
+		t.Fatalf("catalog record was mutated through a handed-out clone: %+v", m)
+	}
+}

@@ -1,0 +1,96 @@
+// Package store is the node's crash-consistent persistence layer: an
+// append-only write-ahead log of protocol events (piece-received,
+// metadata-learned, credit-delta, quarantine) framed with the same
+// length-prefixed big-endian discipline as internal/wire, plus periodic
+// compacting snapshots written via temp-file + fsync + atomic rename.
+//
+// Durability contract: Append returns only after the record's frame is
+// written and fsynced, so a record the caller has acknowledged survives
+// any later crash. Open replays the newest snapshot and then the WAL,
+// truncating the log at the first torn record — a crash mid-append
+// loses at most the record being written, never anything acknowledged
+// before it. Compaction is ordered so that every crash point leaves
+// either the old snapshot plus the full WAL or the new snapshot plus a
+// (possibly stale but seq-guarded) WAL; record sequence numbers make
+// replay idempotent across that window.
+//
+// All file access goes through the FS seam so tests can inject
+// filesystem faults (short writes, fsync errors, crash-at-point
+// schedules) with internal/fault's WrapFS.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the store's view of an open file: sequential reads and writes
+// plus the two durability primitives the WAL depends on.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (the fsync point).
+	Sync() error
+	// Truncate cuts the file to size bytes — how replay discards a torn
+	// tail.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam: everything the store does to disk goes
+// through it, so fault injection can sit between the store and the OS.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (the snapshot
+	// commit point).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; missing files are not an error for the
+	// store's callers (they guard with Stat).
+	Remove(name string) error
+	// MkdirAll ensures a directory exists.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat reports a file's size and existence.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making a completed Rename durable.
+	SyncDir(path string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+type osFile struct{ *os.File }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

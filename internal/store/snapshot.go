@@ -1,0 +1,173 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// Snapshot file layout:
+//
+//	8-byte magic "MBTSNAP\x01" | u64 lastSeq | frames…
+//
+// where each frame is u32 len | u32 crc | record (no per-record seq —
+// the header's lastSeq covers the whole snapshot). The file is written
+// to a temp name, fsynced, atomically renamed over the live name, and
+// the directory fsynced, so a crash at any point leaves either the old
+// snapshot or the new one, never a torn hybrid. lastSeq guards replay:
+// WAL entries with seq <= lastSeq are already folded in and are skipped,
+// which makes the crash window between rename and WAL reset idempotent.
+
+const (
+	snapName    = "state.snap"
+	snapTmpName = "state.snap.tmp"
+)
+
+var snapMagic = [8]byte{'M', 'B', 'T', 'S', 'N', 'A', 'P', 1}
+
+// ErrCorruptSnapshot reports a snapshot that fails its magic or CRC
+// checks. Because snapshots are committed atomically, this means disk
+// damage rather than a crash, so Open refuses to guess and surfaces it.
+var ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+
+// encodeSnapshot serializes the state as a snapshot image.
+func encodeSnapshot(lastSeq uint64, st *State) []byte {
+	b := append([]byte{}, snapMagic[:]...)
+	b = binary.BigEndian.AppendUint64(b, lastSeq)
+	for _, rec := range st.records() {
+		payload := EncodeRecord(rec)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+		b = binary.BigEndian.AppendUint32(b, crcOf(payload))
+		b = append(b, payload...)
+	}
+	return b
+}
+
+// decodeSnapshot parses a snapshot image into a fresh state.
+func decodeSnapshot(raw []byte) (lastSeq uint64, st *State, err error) {
+	if len(raw) < len(snapMagic)+8 {
+		return 0, nil, fmt.Errorf("%d-byte header: %w", len(raw), ErrCorruptSnapshot)
+	}
+	for i, c := range snapMagic {
+		if raw[i] != c {
+			return 0, nil, fmt.Errorf("bad magic: %w", ErrCorruptSnapshot)
+		}
+	}
+	lastSeq = binary.BigEndian.Uint64(raw[len(snapMagic):])
+	st = NewState()
+	b := raw[len(snapMagic)+8:]
+	for len(b) > 0 {
+		if len(b) < frameHeaderLen {
+			return 0, nil, fmt.Errorf("torn frame header: %w", ErrCorruptSnapshot)
+		}
+		plen := binary.BigEndian.Uint32(b[0:4])
+		crc := binary.BigEndian.Uint32(b[4:8])
+		if int64(plen) > maxRecordLen || len(b)-frameHeaderLen < int(plen) {
+			return 0, nil, fmt.Errorf("frame length %d: %w", plen, ErrCorruptSnapshot)
+		}
+		payload := b[frameHeaderLen : frameHeaderLen+int(plen)]
+		if crcOf(payload) != crc {
+			return 0, nil, fmt.Errorf("frame crc: %w", ErrCorruptSnapshot)
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("frame record: %v: %w", err, ErrCorruptSnapshot)
+		}
+		st.Apply(rec)
+		b = b[frameHeaderLen+int(plen):]
+	}
+	return lastSeq, st, nil
+}
+
+// writeSnapshot commits a snapshot image: temp file, fsync, atomic
+// rename, directory fsync. Any error leaves the previous snapshot (if
+// one exists) untouched and live.
+func writeSnapshot(fs FS, dir string, img []byte) error {
+	tmp := join(dir, snapTmpName)
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := fs.Rename(tmp, join(dir, snapName)); err != nil {
+		return fmt.Errorf("store: commit snapshot: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads the live snapshot, reporting records restored.
+// A missing snapshot is a fresh store, not an error.
+func readSnapshot(fs FS, dir string) (lastSeq uint64, st *State, n int, err error) {
+	path := join(dir, snapName)
+	if _, err := fs.Stat(path); err != nil {
+		return 0, NewState(), 0, nil
+	}
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	lastSeq, st, err = decodeSnapshot(raw)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return lastSeq, st, st.Len(), nil
+}
+
+// records flattens the state back into replayable records, sorted for
+// deterministic snapshot bytes.
+func (st *State) records() []Record {
+	var out []Record
+	uris := make([]string, 0, len(st.Files))
+	for uri := range st.Files {
+		uris = append(uris, string(uri))
+	}
+	sort.Strings(uris)
+	for _, u := range uris {
+		uri := metadata.URI(u)
+		fs := st.Files[uri]
+		if fs.Meta != nil {
+			out = append(out, &MetadataRecord{
+				Popularity: fs.Popularity,
+				Meta:       *fs.Meta,
+				Selected:   fs.Selected,
+			})
+		}
+		for i, have := range fs.Have {
+			if have {
+				out = append(out, &PieceRecord{URI: uri, Index: i, Total: fs.Total})
+			}
+		}
+	}
+	peers := sortedPeers(st.Credit)
+	for _, p := range peers {
+		out = append(out, &CreditRecord{Peer: p, Delta: st.Credit[p]})
+	}
+	for _, p := range sortedQuarantine(st.Quarantine) {
+		q := st.Quarantine[p]
+		out = append(out, &QuarantineRecord{Peer: p, Strikes: q.Strikes, UntilUnixMilli: q.UntilUnixMilli})
+	}
+	return out
+}

@@ -38,6 +38,7 @@ func frames() [][]byte {
 			Heard:       []trace.NodeID{1, 2, 9},
 			Queries:     []string{"jazz", "late show"},
 			Downloading: []metadata.URI{rec.URI},
+			Have:        []wire.GroupWant{*want},
 		}),
 		wire.EncodeMetadata(m),
 		wire.EncodePiece(&wire.Piece{

@@ -151,15 +151,12 @@ func decodeMembers(r *reader) ([]trace.NodeID, error) {
 	return out, nil
 }
 
-// EncodeGroupHello serializes a group view announcement.
-func EncodeGroupHello(g *GroupHello) []byte {
-	w := header(TypeGroupHello)
-	w.uint32(uint32(g.From))
-	encodeMembers(w, g.Members)
-	w.uint64(g.Round)
-	w.uint32(uint32(len(g.Wants)))
-	for i := range g.Wants {
-		want := &g.Wants[i]
+// encodeWantList appends a length-prefixed per-file piece-state list —
+// the codec shared by GroupHello.Wants and Hello.Have.
+func encodeWantList(w *buffer, wants []GroupWant) {
+	w.uint32(uint32(len(wants)))
+	for i := range wants {
+		want := &wants[i]
 		w.str(string(want.URI))
 		w.uint32(uint32(want.Total))
 		if want.Downloading {
@@ -169,27 +166,10 @@ func EncodeGroupHello(g *GroupHello) []byte {
 		}
 		w.bytes(want.Have)
 	}
-	return w.b
 }
 
-// DecodeGroupHello parses a group view announcement.
-func DecodeGroupHello(b []byte) (*GroupHello, error) {
-	r, err := openReader(b, TypeGroupHello)
-	if err != nil {
-		return nil, err
-	}
-	g := &GroupHello{}
-	from, err := r.uint32()
-	if err != nil {
-		return nil, err
-	}
-	g.From = trace.NodeID(from)
-	if g.Members, err = decodeMembers(r); err != nil {
-		return nil, err
-	}
-	if g.Round, err = r.uint64(); err != nil {
-		return nil, err
-	}
+// decodeWantList parses a length-prefixed per-file piece-state list.
+func decodeWantList(r *reader) ([]GroupWant, error) {
 	n, err := r.uint32()
 	if err != nil {
 		return nil, err
@@ -197,6 +177,7 @@ func DecodeGroupHello(b []byte) (*GroupHello, error) {
 	if n > maxListLen {
 		return nil, fmt.Errorf("want list %d: %w", n, ErrTooLong)
 	}
+	var out []GroupWant
 	for i := uint32(0); i < n; i++ {
 		var want GroupWant
 		uri, err := r.str(maxStrLen)
@@ -230,7 +211,41 @@ func DecodeGroupHello(b []byte) (*GroupHello, error) {
 			return nil, fmt.Errorf("have bitset %d bytes for %d pieces: %w",
 				len(want.Have), want.Total, ErrTooLong)
 		}
-		g.Wants = append(g.Wants, want)
+		out = append(out, want)
+	}
+	return out, nil
+}
+
+// EncodeGroupHello serializes a group view announcement.
+func EncodeGroupHello(g *GroupHello) []byte {
+	w := header(TypeGroupHello)
+	w.uint32(uint32(g.From))
+	encodeMembers(w, g.Members)
+	w.uint64(g.Round)
+	encodeWantList(w, g.Wants)
+	return w.b
+}
+
+// DecodeGroupHello parses a group view announcement.
+func DecodeGroupHello(b []byte) (*GroupHello, error) {
+	r, err := openReader(b, TypeGroupHello)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupHello{}
+	from, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	g.From = trace.NodeID(from)
+	if g.Members, err = decodeMembers(r); err != nil {
+		return nil, err
+	}
+	if g.Round, err = r.uint64(); err != nil {
+		return nil, err
+	}
+	if g.Wants, err = decodeWantList(r); err != nil {
+		return nil, err
 	}
 	if len(r.b) != 0 {
 		return nil, ErrTrailing

@@ -2,7 +2,8 @@
 // binary codec. Nodes exchange three base message kinds:
 //
 //   - hello beacons — node ID, the IDs heard in the past 5 seconds, the
-//     node's query strings, and the URIs of the files it is downloading;
+//     node's query strings, the URIs of the files it is downloading, and
+//     a per-file have-bitmap so senders serve only missing pieces;
 //   - metadata records — the discovery phase's payload, carrying the
 //     advisory popularity alongside the signed record;
 //   - file pieces — the download phase's payload, optionally carrying a
@@ -100,6 +101,12 @@ type Hello struct {
 	Heard       []trace.NodeID
 	Queries     []string
 	Downloading []metadata.URI
+	// Have advertises per-file piece state for the downloads (same
+	// bitset form as GroupHello.Wants), so senders serve only missing
+	// pieces. A node that restarts against its data directory resumes
+	// advertising everything it persisted, and peers never re-send a
+	// piece the bitmap already marks held.
+	Have []GroupWant
 }
 
 // Metadata is the discovery payload.
@@ -220,6 +227,7 @@ func EncodeHello(h *Hello) []byte {
 	for _, uri := range h.Downloading {
 		w.str(string(uri))
 	}
+	encodeWantList(w, h.Have)
 	return w.b
 }
 
@@ -353,6 +361,9 @@ func DecodeHello(b []byte) (*Hello, error) {
 			return nil, err
 		}
 		h.Downloading = append(h.Downloading, metadata.URI(uri))
+	}
+	if h.Have, err = decodeWantList(r); err != nil {
+		return nil, err
 	}
 	if len(r.b) != 0 {
 		return nil, ErrTrailing

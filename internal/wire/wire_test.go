@@ -20,11 +20,15 @@ func sampleMeta() *Metadata {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
+	want := NewGroupWant("dtn://files/3", 3, true)
+	want.SetHave(0)
+	want.SetHave(2)
 	h := &Hello{
 		From:        7,
 		Heard:       []trace.NodeID{1, 2, 9},
 		Queries:     []string{"jazz", "late show"},
 		Downloading: []metadata.URI{"dtn://files/3"},
+		Have:        []GroupWant{*want},
 	}
 	b := EncodeHello(h)
 	got, err := DecodeHello(b)
@@ -34,6 +38,17 @@ func TestHelloRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(h, got) {
 		t.Fatalf("round trip:\nin  %+v\nout %+v", h, got)
 	}
+	if !got.Have[0].HaveBit(0) || got.Have[0].HaveBit(1) || !got.Have[0].HaveBit(2) {
+		t.Fatalf("have bitmap lost: %+v", got.Have[0])
+	}
+}
+
+func TestHelloRejectsBadHaveBitset(t *testing.T) {
+	// A have bitset whose byte length disagrees with Total is malformed.
+	h := &Hello{From: 1, Have: []GroupWant{{URI: "dtn://files/1", Total: 9, Have: []byte{0xFF}}}}
+	if _, err := DecodeHello(EncodeHello(h)); err == nil {
+		t.Fatal("9-piece want with a 1-byte bitset decoded")
+	}
 }
 
 func TestEmptyHelloRoundTrip(t *testing.T) {
@@ -42,7 +57,7 @@ func TestEmptyHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.From != 0 || got.Heard != nil || got.Queries != nil || got.Downloading != nil {
+	if got.From != 0 || got.Heard != nil || got.Queries != nil || got.Downloading != nil || got.Have != nil {
 		t.Fatalf("got %+v", got)
 	}
 }
