@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short
+.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short
 
 check: vet test race
 
@@ -52,9 +52,30 @@ crash-soak:
 crash-soak-short:
 	$(GO) test -race -count=1 -short -run 'TestCrashRecoverySoak|TestRestartResume' -v ./internal/daemon
 
+# Swarm availability soak: the full thousand-node boot plus every
+# scripted-churn scenario (seeder death, flash crowd, mobility
+# partitions, staggered joins, diurnal attendance), emitting metrics
+# JSON into results/. swarm-short is the race-clean CI smoke at <=200
+# nodes.
+swarm:
+	$(GO) test -count=1 -timeout 10m -run 'TestSwarm|TestRun' -v ./internal/swarm ./cmd/mbtswarm
+
+swarm-short:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestSwarm(SmallDeterminism|KillResume|200Race|ConfigValidation)' -v ./internal/swarm
+
 # The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x .
+
+# Benchmark baseline: the hot-path benches (wire codec, beacon fan-out,
+# WAL append/replay, clique enumeration) plus the sweep pool, rendered
+# to JSON for committing and diffing across commits.
+bench-json:
+	{ $(GO) test -run '^$$' -bench . -benchtime 0.5s \
+		./internal/wire ./internal/peer ./internal/store ./internal/clique ; \
+	  $(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x . ; } \
+	| $(GO) run ./cmd/benchjson -label swarm-baseline > results/BENCH_swarm.json
+	@echo wrote results/BENCH_swarm.json
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s ./internal/experiment

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record, so benchmark baselines can be committed, diffed, and compared
+// across commits without parsing the text format twice.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./internal/wire/ | benchjson > BENCH.json
+//	benchjson -label swarm-baseline < bench.txt
+//
+// Non-benchmark lines (PASS, ok, compile noise) pass through to the
+// context fields or are dropped, so piping a whole multi-package run in
+// is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerO float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any further "<value> <unit>" pairs (MB/s, custom
+	// b.ReportMetric units).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Record is the whole run.
+type Record struct {
+	Label   string   `json:"label,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	label := fs.String("label", "", "label stored in the output record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rec, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	rec.Label = *label
+	if len(rec.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(stdout, string(data))
+	return err
+}
+
+func parse(r io.Reader) (Record, error) {
+	var rec Record
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			rec.Results = append(rec.Results, res)
+		}
+	}
+	return rec, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-8  1000  123 ns/op  45 B/op ...".
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	// The rest is "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerO = v
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[fields[i+1]] = v
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/wire
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeHello 	 1163236	       345.3 ns/op	     504 B/op	       6 allocs/op
+BenchmarkEncodeRaw   	147388596	         2.237 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/wire	3.166s
+pkg: repro/internal/peer
+BenchmarkBeaconFanout/shared-frame/256         	    5470	     68968 ns/op	    7694 B/op	      17 allocs/op
+PASS
+`
+
+func TestParseMultiPackageRun(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" {
+		t.Fatalf("context not parsed: %+v", rec)
+	}
+	if len(rec.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rec.Results), rec.Results)
+	}
+	hello := rec.Results[0]
+	if hello.Name != "BenchmarkEncodeHello" || hello.Iterations != 1163236 ||
+		hello.NsPerOp != 345.3 || hello.BytesPerOp != 504 || hello.AllocsPerO != 6 {
+		t.Fatalf("hello line misparsed: %+v", hello)
+	}
+	if hello.Package != "repro/internal/wire" {
+		t.Fatalf("package not tracked: %+v", hello)
+	}
+	fan := rec.Results[2]
+	if fan.Package != "repro/internal/peer" || !strings.Contains(fan.Name, "shared-frame") {
+		t.Fatalf("cross-package line misparsed: %+v", fan)
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-label", "baseline"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(out.String()), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rec.Label != "baseline" || len(rec.Results) != 3 {
+		t.Fatalf("round-trip mismatch: %+v", rec)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Command mbtswarm boots a scripted swarm of live daemons over the
+// in-memory transport and reports availability metrics — the CLI face
+// of the internal/swarm harness, for long soaks and populations bigger
+// than the test suite runs.
+//
+// Usage:
+//
+//	mbtswarm -scenario steady -nodes 1000
+//	mbtswarm -scenario seeder-death -nodes 500 -seed 7 -out results
+//	mbtswarm -scenario mobility -nodes 200 -timeout 5m -v
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/swarm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mbtswarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mbtswarm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario = fs.String("scenario", "steady",
+			"scenario: "+strings.Join(swarm.ScenarioNames(), ", "))
+		nodes   = fs.Int("nodes", 1000, "population size, seeders included")
+		seed    = fs.Uint64("seed", 42, "topology and fault seed")
+		timeout = fs.Duration("timeout", 5*time.Minute, "abort the run after this long")
+		out     = fs.String("out", "", "also write the report JSON into this directory")
+		verbose = fs.Bool("v", false, "log harness lifecycle events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := swarm.BuildScenario(*scenario, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+	sc.Timeout = *timeout
+	if *verbose {
+		sc.Config.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+
+	rep, runErr := swarm.RunScenario(context.Background(), sc)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(data))
+	if *out != "" {
+		path, err := rep.WriteFile(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "mbtswarm: wrote", path)
+	}
+	return runErr
+}

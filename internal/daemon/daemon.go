@@ -107,6 +107,15 @@ type Config struct {
 	// the protocol's 1 s / 5 s).
 	HelloInterval  time.Duration
 	LivenessWindow time.Duration
+	// MaxPeers bounds the peer table (0 = unbounded): handshakes that
+	// would add a peer beyond the cap are refused, so swarm-scale
+	// populations cannot make any single node's session set grow without
+	// limit.
+	MaxPeers int
+	// OnComplete, when set, is called (outside the daemon lock) each time
+	// a download finishes verification — the swarm harness's completion
+	// event stream.
+	OnComplete func(uri metadata.URI)
 	// HandshakeTimeout bounds the wait for a new connection's first
 	// hello (default: the liveness window). A partitioned or black-holed
 	// link fails its handshake within this deadline and falls back to
@@ -400,6 +409,7 @@ func New(cfg Config) (*Daemon, error) {
 		HelloInterval:    cfg.HelloInterval,
 		LivenessWindow:   cfg.LivenessWindow,
 		HandshakeTimeout: cfg.HandshakeTimeout,
+		MaxPeers:         cfg.MaxPeers,
 		Backoff:          cfg.Backoff,
 		Logf:             cfg.Logf,
 	})
@@ -725,6 +735,48 @@ func (d *Daemon) AddQuery(q string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.node.AddQuery(q, d.now().Add(d.cfg.TTL))
+}
+
+// Pause suspends the node's radio without tearing it down: beacons stop
+// and inbound messages are dropped, so peers see exactly what a node
+// that walked out of range looks like. State, sessions, and goroutines
+// all stay put; Resume turns the radio back on. This is the swarm
+// harness's scenario hook for scripted attendance (diurnal schedules,
+// duty cycles) where a full kill/restart would be the wrong model.
+func (d *Daemon) Pause() { d.mgr.SetPaused(true) }
+
+// Resume turns a paused node's radio back on; liveness re-establishes
+// within a hello interval on surviving sessions, and redial covers the
+// rest.
+func (d *Daemon) Resume() { d.mgr.SetPaused(false) }
+
+// Paused reports whether the radio is suspended.
+func (d *Daemon) Paused() bool { return d.mgr.Paused() }
+
+// Have reports the piece bitmap this node holds for uri (nil when the
+// file is unknown). The swarm harness unions these across nodes to
+// decide whether a file is still reconstructable after seeder death —
+// the availability metric's ground truth.
+func (d *Daemon) Have(uri metadata.URI) []bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := d.node.Pieces(uri)
+	if ps == nil {
+		return nil
+	}
+	out := make([]bool, ps.Total())
+	for i := range out {
+		out[i] = ps.Have(i)
+	}
+	return out
+}
+
+// CreditSnapshot copies the node's tit-for-tat ledger — the harness
+// computes cross-swarm credit dispersion from these.
+func (d *Daemon) CreditSnapshot() map[trace.NodeID]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.node.Ledger.Snapshot()
 }
 
 // Completed reports whether uri finished downloading and verified.
@@ -1167,6 +1219,9 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 	if justDone {
 		d.logf("daemon %d: download of %s complete (%d pieces, verified) via node %d",
 			d.cfg.ID, p.URI, p.Total, from)
+		if d.cfg.OnComplete != nil {
+			d.cfg.OnComplete(p.URI)
+		}
 	}
 }
 

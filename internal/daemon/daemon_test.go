@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -52,6 +53,7 @@ func start(ctx context.Context, d *Daemon) chan error {
 // two queries, and full multi-piece downloads with per-piece checksum
 // verification.
 func TestLoopbackEndToEndSoak(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	net := transport.NewLoopback()
@@ -108,6 +110,7 @@ func TestLoopbackEndToEndSoak(t *testing.T) {
 // TestReconnectAfterDrop drops every live session mid-download and
 // checks the leecher redials and finishes.
 func TestReconnectAfterDrop(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	net := transport.NewLoopback()
@@ -144,6 +147,7 @@ func TestReconnectAfterDrop(t *testing.T) {
 // TestShutdownWhileSending cancels both daemons in the middle of a
 // large transfer; Run must return promptly with every goroutine joined.
 func TestShutdownWhileSending(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	net := transport.NewLoopback()
 	defer net.Close()

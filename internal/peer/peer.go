@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hello"
@@ -83,6 +84,13 @@ type Config struct {
 	// consecutive flap instead of hammering an unstable address
 	// (default: the liveness window).
 	FlapThreshold time.Duration
+	// MaxPeers bounds the peer table: a handshake that would add a new
+	// peer beyond the cap is rejected and its connection closed, so one
+	// node in a large swarm cannot accumulate sessions without limit.
+	// Additional sessions to peers already in the table are always
+	// accepted (redials must win against their dying predecessors).
+	// Zero means unbounded.
+	MaxPeers int
 	// Backoff shapes Connect's redial schedule.
 	Backoff transport.Backoff
 	// Logf, when set, receives one line per connection event.
@@ -118,10 +126,17 @@ type Stats struct {
 	Expiries      uint64 `json:"expiries"`
 	HandshakeFail uint64 `json:"handshake_failures"`
 	Flaps         uint64 `json:"flaps"`
+	// PeersRejected counts handshakes refused because the peer table was
+	// at MaxPeers capacity.
+	PeersRejected uint64 `json:"peers_rejected"`
 }
 
 // ErrUnknownPeer reports a Send to a peer with no live session.
 var ErrUnknownPeer = errors.New("peer: no live session")
+
+// ErrTableFull reports a handshake rejected because the peer table is at
+// Config.MaxPeers capacity.
+var ErrTableFull = errors.New("peer: table full")
 
 // session is one handshaken connection.
 type session struct {
@@ -141,6 +156,11 @@ type flapInfo struct {
 // Manager is the daemon's connection owner. Construct with NewManager.
 type Manager struct {
 	cfg Config
+
+	// paused suspends the radio: no beacons go out and inbound messages
+	// are dropped before dispatch, so a paused node looks exactly like a
+	// node that walked out of range. Sessions are left to expire.
+	paused atomic.Bool
 
 	mu        sync.Mutex
 	nextSID   uint64
@@ -202,12 +222,24 @@ func (m *Manager) Run(ctx context.Context) error {
 		select {
 		case <-t.C:
 			m.expire(time.Now())
-			m.broadcastHello(ctx)
+			if !m.paused.Load() {
+				m.broadcastHello(ctx)
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
 }
+
+// SetPaused suspends (true) or resumes (false) the radio: while paused
+// the manager neither beacons nor dispatches inbound messages, so to
+// every peer this node has simply fallen silent and expires from their
+// tables — the scenario hook for scripted attendance churn. Sessions
+// are not torn down here; liveness expiry and redial handle the rest.
+func (m *Manager) SetPaused(p bool) { m.paused.Store(p) }
+
+// Paused reports whether the radio is suspended.
+func (m *Manager) Paused() bool { return m.paused.Load() }
 
 // Serve accepts inbound connections until ctx ends or the listener
 // fails.
@@ -290,7 +322,13 @@ func (m *Manager) runSession(ctx context.Context, conn transport.Conn, inbound b
 		conn.Close()
 		return
 	}
-	s := m.register(peerID, conn, inbound)
+	s, err := m.register(peerID, conn, inbound)
+	if err != nil {
+		m.addStat(func(st *Stats) { st.PeersRejected++ })
+		m.logf("peer: rejecting node %d (%s): %v", peerID, conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
 	m.logf("peer: session %d with node %d up (%s, inbound=%v)",
 		s.sid, peerID, conn.RemoteAddr(), inbound)
 	m.deliver(peerID, firstHello)
@@ -332,20 +370,25 @@ func (m *Manager) handshake(ctx context.Context, conn transport.Conn) (trace.Nod
 	}
 }
 
-// register adds a handshaken session to the peer table.
-func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound bool) *session {
+// register adds a handshaken session to the peer table. A session that
+// would grow the table past MaxPeers is refused: the capacity bound is
+// on distinct peers, so extra sessions to known peers always land.
+func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound bool) (*session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nextSID++
-	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound, started: time.Now()}
 	set := m.byPeer[peerID]
 	if set == nil {
+		if m.cfg.MaxPeers > 0 && len(m.byPeer) >= m.cfg.MaxPeers {
+			return nil, fmt.Errorf("%w (%d peers)", ErrTableFull, len(m.byPeer))
+		}
 		set = make(map[uint64]*session)
 		m.byPeer[peerID] = set
 	}
+	m.nextSID++
+	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound, started: time.Now()}
 	set[s.sid] = s
 	m.lastHello[peerID] = time.Now()
-	return s
+	return s, nil
 }
 
 // unregister removes a dead session and closes its conn, counting a
@@ -376,6 +419,9 @@ func (m *Manager) unregister(s *session) {
 
 // deliver updates liveness and dispatches one message.
 func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
+	if m.paused.Load() {
+		return // radio off: the message was never heard
+	}
 	switch v := msg.(type) {
 	case *wire.Hello:
 		m.mu.Lock()
@@ -425,12 +471,13 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 	if err := s.conn.Send(ctx, msg); err != nil {
 		return err
 	}
-	switch msg.(type) {
-	case *wire.Hello:
+	t := msg.Type()
+	switch t {
+	case wire.TypeHello:
 		m.addStat(func(st *Stats) { st.HellosSent++ })
-	case *wire.Metadata:
+	case wire.TypeMetadata:
 		m.addStat(func(st *Stats) { st.MetadataSent++ })
-	case *wire.Piece:
+	case wire.TypePiece:
 		m.addStat(func(st *Stats) { st.PiecesSent++ })
 	default:
 		m.addStat(func(st *Stats) { st.GroupSent++ })
@@ -444,11 +491,19 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 func (m *Manager) Broadcast(ctx context.Context) { m.broadcastHello(ctx) }
 
 // broadcastHello beacons to every live peer (once per peer, even with
-// duplicate sessions).
+// duplicate sessions). The beacon is built and encoded exactly once and
+// fanned out as a pre-encoded frame: with hundreds of live peers the
+// per-tick cost is one serialization, not one per peer, which keeps the
+// thousand-node hello path linear in links instead of quadratic in
+// bytes encoded.
 func (m *Manager) broadcastHello(ctx context.Context) {
-	msg := m.helloMsg()
-	for _, id := range m.Peers() {
-		if err := m.Send(ctx, id, msg); err != nil {
+	peers := m.Peers()
+	if len(peers) == 0 {
+		return
+	}
+	raw := wire.NewRaw(m.helloMsg())
+	for _, id := range peers {
+		if err := m.Send(ctx, id, raw); err != nil {
 			m.logf("peer: hello to node %d failed: %v", id, err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/metadata"
 	"repro/internal/simtime"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -95,6 +96,7 @@ func fastCfg(self trace.NodeID, h Handler) Config {
 }
 
 func TestHandshakeAndDispatch(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	net := transport.NewLoopback()
@@ -216,8 +218,8 @@ func (c *stubConn) RemoteAddr() string                         { return "stub-re
 // surfaced in the table, and decayed once the link holds steady.
 func TestFlapAccounting(t *testing.T) {
 	m := NewManager(fastCfg(1, nil))
-	keeper := m.register(2, &stubConn{}, false)
-	young := m.register(2, &stubConn{}, false)
+	keeper, _ := m.register(2, &stubConn{}, false)
+	young, _ := m.register(2, &stubConn{}, false)
 	m.unregister(young)
 	if got := m.Stats().Flaps; got != 1 {
 		t.Fatalf("Flaps = %d after a young session death, want 1", got)
@@ -248,6 +250,7 @@ func TestFlapAccounting(t *testing.T) {
 // checks the dialer counts the young deaths as flaps while still
 // reconnecting.
 func TestFlapDemotionEndToEnd(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	net := transport.NewLoopback()

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector instruments this build.
+// Swarm-scale tests use it to shrink populations: the detector's memory
+// and scheduling overhead makes a literal thousand-node boot more of a
+// detector stress test than a protocol one.
+const RaceEnabled = true

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/trace"
+)
+
+// benchHello is a beacon the size a busy swarm node actually sends: a
+// populated heard-list, a few queries, and piece bitmaps for two
+// in-flight downloads.
+func benchHello() *Hello {
+	heard := make([]trace.NodeID, 12)
+	for i := range heard {
+		heard[i] = trace.NodeID(i + 1)
+	}
+	return &Hello{
+		From:        7,
+		Heard:       heard,
+		Queries:     []string{"f0", "f1", "f2"},
+		Downloading: []metadata.URI{metadata.URIFor(0), metadata.URIFor(1)},
+		Have: []GroupWant{
+			{URI: metadata.URIFor(0), Total: 16, Downloading: true, Have: []byte{0xab, 0x31}},
+			{URI: metadata.URIFor(1), Total: 16, Downloading: true, Have: []byte{0x14, 0x02}},
+		},
+	}
+}
+
+func benchPiece() *Piece {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return &Piece{URI: metadata.URIFor(0), Index: 3, Total: 16, Data: data}
+}
+
+func BenchmarkEncodeHello(b *testing.B) {
+	h := benchHello()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(h)
+	}
+}
+
+func BenchmarkDecodeHello(b *testing.B) {
+	frame := Encode(benchHello())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePiece(b *testing.B) {
+	p := benchPiece()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(p)
+	}
+}
+
+func BenchmarkDecodePiece(b *testing.B) {
+	frame := Encode(benchPiece())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeRaw pins the pre-encoded fan-out path: handing a Raw
+// to Encode must cost nothing but the slice return.
+func BenchmarkEncodeRaw(b *testing.B) {
+	raw := NewRaw(benchHello())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(raw)
+	}
+}

@@ -510,6 +510,24 @@ type Msg interface {
 	Type() MsgType
 }
 
+// Raw is a pre-encoded message: Encode returns Frame as-is, so one
+// encoding can fan out to many connections without re-serializing per
+// peer. The beacon path uses it — a node with hundreds of live peers
+// encodes its hello once per tick instead of once per peer. Frame must
+// be a complete encoded message of type T and must not be mutated after
+// the first Send; receivers decode it into the ordinary typed messages,
+// so Raw never appears on the receive path.
+type Raw struct {
+	T     MsgType
+	Frame []byte
+}
+
+// NewRaw pre-encodes m for fan-out.
+func NewRaw(m Msg) *Raw { return &Raw{T: m.Type(), Frame: Encode(m)} }
+
+// Type implements Msg.
+func (r *Raw) Type() MsgType { return r.T }
+
 // Type implements Msg.
 func (*Hello) Type() MsgType { return TypeHello }
 
@@ -522,6 +540,8 @@ func (*Piece) Type() MsgType { return TypePiece }
 // Encode serializes any message.
 func Encode(m Msg) []byte {
 	switch m := m.(type) {
+	case *Raw:
+		return m.Frame
 	case *Hello:
 		return EncodeHello(m)
 	case *Metadata:
