@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short
+.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short fec-soak fec-soak-short
 
 check: vet test race
 
@@ -40,6 +40,19 @@ bcast-soak:
 bcast-soak-short:
 	$(GO) test -race -count=1 -short -run TestBcastSoak -v ./internal/daemon
 
+# Fountain-coded soak: the LT-code property tests, the engine's symbol
+# plane (negotiation, loss repair, relay budget, poisoned-decode
+# restart), the five-node chaos soak at 30% drop + 20% corruption, and
+# the live three-daemon UDP demo. fec-soak-short is the race-clean CI
+# smoke: the chaos soak must complete on the fountain plane (the strict
+# transmission comparison runs without -race, where timing is honest).
+fec-soak:
+	$(GO) test -count=1 -run 'FEC' -v ./internal/fec ./internal/bcast ./internal/daemon
+	$(GO) test -race -count=1 -run 'FEC|LocalhostFECDemo' -v ./internal/fec ./internal/bcast ./internal/daemon ./cmd/mbtd
+
+fec-soak-short:
+	$(GO) test -race -count=1 -run 'TestFECSoakFewerTransmissions|TestFECLossRepairedByTopUps' -v ./internal/daemon ./internal/bcast
+
 # Crash-recovery soak: the store-level crash-point matrix (every
 # mutating filesystem op) plus the daemon-level scripted kill-and-
 # restart matrix — at each point the node must reopen its data dir to a
@@ -72,7 +85,8 @@ bench:
 # to JSON for committing and diffing across commits.
 bench-json:
 	{ $(GO) test -run '^$$' -bench . -benchtime 0.5s \
-		./internal/wire ./internal/peer ./internal/store ./internal/clique ; \
+		./internal/wire ./internal/peer ./internal/store ./internal/clique ./internal/fec ; \
+	  $(GO) test -run '^$$' -bench BenchmarkFECSoak -benchtime 1x ./internal/daemon ; \
 	  $(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x . ; } \
 	| $(GO) run ./cmd/benchjson -label swarm-baseline > results/BENCH_swarm.json
 	@echo wrote results/BENCH_swarm.json

@@ -29,6 +29,15 @@
 // downloader pulling its own pairwise stream. -tft swaps the
 // cooperative coordinator for the tit-for-tat cyclic order. Group
 // state appears under "bcast" in /stats.
+//
+// With -fec (requires -bcast) each daemon additionally opens a UDP
+// symbol lane on -listen's port and advertises fountain-coded delivery
+// to its group. When every member advertises it, granted senders stream
+// rateless coded symbols over the lane instead of broadcasting pieces;
+// receivers decode from whichever subset arrives and relay a bounded
+// number of symbols to members the sender can't reach. A single
+// non--fec member pins the group to the plain piece plane, so mixed
+// fleets keep working. Symbol counters appear under "bcast" in /stats.
 package main
 
 import (
@@ -79,6 +88,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		window   = fs.Duration("window", 5*time.Second, "peer liveness window (drop peers silent this long)")
 		bcastOn  = fs.Bool("bcast", false, "run the broadcast-group schedule: cliques of 3+ fully-meshed nodes download via one granted sender per round")
 		tft      = fs.Bool("tft", false, "with -bcast, use the tit-for-tat cyclic order instead of the cooperative coordinator")
+		fecOn    = fs.Bool("fec", false, "with -bcast, stream granted pieces as fountain-coded symbols over a UDP lane on -listen's port; active only when every group member runs -fec too")
+		symbolSz = fs.Int("symbol-size", 0, "with -fec, coded-symbol payload bytes (0 = engine default)")
+		symPeers = fs.String("symbol-peers", "", "with -fec, UDP addresses the symbol lane fans out to (default: the -peers list)")
 		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
 		dataDir  = fs.String("data-dir", "", "persist node state here (WAL + snapshots); restart resumes from it")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
@@ -99,6 +111,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if *listen == "" && *peers == "" {
 		return fail("need -listen and/or -peers; a daemon with neither has no links")
+	}
+	if *fecOn && !*bcastOn {
+		return fail("-fec rides the broadcast-group schedule; it needs -bcast")
+	}
+	if *fecOn && *listen == "" {
+		return fail("-fec binds its UDP symbol lane to -listen's address; set -listen")
 	}
 	if *dataDir != "" {
 		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
@@ -127,6 +145,29 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		logger.Printf("fault injection on: %s", *faultArg)
 	}
 
+	// The symbol lane reuses the daemon's addressing: UDP on the same
+	// host:port as the TCP listener, fanning to the same peer list. TCP
+	// and UDP ports are separate namespaces, so nothing collides, and
+	// every -fec daemon in a mesh is reachable at the address its peers
+	// already dial.
+	var symbols transport.SymbolConn
+	if *fecOn {
+		lanePeers := splitList(*symPeers)
+		if lanePeers == nil {
+			lanePeers = splitList(*peers)
+		}
+		lane, err := transport.NewUDPLane(*listen, lanePeers)
+		if err != nil {
+			return fail("-fec: %v", err)
+		}
+		defer lane.Close()
+		symbols = lane
+		if chaos != nil {
+			symbols = chaos.WrapSymbols(symbols)
+		}
+		logger.Printf("fec symbol lane on udp %s", lane.Addr())
+	}
+
 	cfg := daemon.Config{
 		ID:             trace.NodeID(*id),
 		Transport:      tr,
@@ -142,6 +183,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		LivenessWindow: *window,
 		EnableBcast:    *bcastOn,
 		TitForTat:      *tft,
+		EnableFEC:      *fecOn,
+		Symbols:        symbols,
+		SymbolSize:     *symbolSz,
 		Fault:          chaos,
 		DataDir:        *dataDir,
 		Logf:           logf,

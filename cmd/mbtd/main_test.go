@@ -50,6 +50,8 @@ func TestBadFlagCombos(t *testing.T) {
 		{"fault bad partition", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fault", "partition=zzz"}, "-fault"},
 		{"data-dir is a file", []string{"-id", "1", "-listen", "127.0.0.1:0", "-data-dir", file}, "-data-dir"},
 		{"data-dir under a file", []string{"-id", "1", "-listen", "127.0.0.1:0", "-data-dir", filepath.Join(file, "sub")}, "-data-dir"},
+		{"fec without bcast", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fec"}, "-bcast"},
+		{"fec without listen", []string{"-id", "1", "-peers", "127.0.0.1:1", "-bcast", "-fec"}, "-listen"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -229,6 +231,94 @@ func TestLocalhostBcastDemo(t *testing.T) {
 			st2.Bcast != nil && st2.Bcast.Confirmed && len(st2.Bcast.Group) == 3 &&
 			st3.Bcast != nil && st3.Bcast.Confirmed && len(st3.Bcast.Group) == 3 &&
 			st2.Bcast.BcastsRecv > 0 && st3.Bcast.BcastsRecv > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+// TestLocalhostFECDemo is the README fountain walkthrough as a test:
+// the three-daemon broadcast mesh with -fec everywhere, so once the
+// clique confirms, granted pieces ride the UDP symbol lane as rateless
+// coded symbols instead of PieceBcast frames. Both leechers must
+// complete the file, having decoded pieces from the lane.
+func TestLocalhostFECDemo(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	p1, p2, p3 := freePort(t), freePort(t), freePort(t)
+	h2, h3 := freePort(t), freePort(t)
+	errs := make(chan error, 3)
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "1", "-listen", p1, "-internet", "-files", "1",
+			"-file-size", "524288", "-piece-size", "4096",
+			"-bcast", "-fec", "-symbol-peers", p2 + "," + p3,
+			"-hello", "20ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "2", "-listen", p2, "-peers", p1, "-query", "f0",
+			"-bcast", "-fec", "-symbol-peers", p1 + "," + p3,
+			"-http", h2, "-hello", "200ms", "-quiet",
+		}, io.Discard)
+	}()
+	go func() {
+		errs <- run(ctx, []string{
+			"-id", "3", "-listen", p3, "-peers", p1 + "," + p2, "-query", "f0",
+			"-bcast", "-fec", "-symbol-peers", p1 + "," + p2,
+			"-http", h3, "-hello", "200ms", "-quiet",
+		}, io.Discard)
+	}()
+
+	type stats struct {
+		Completed map[string]bool `json:"completed"`
+		Bcast     *struct {
+			Group       []int  `json:"group"`
+			Confirmed   bool   `json:"confirmed"`
+			SymbolsRecv uint64 `json:"symbols_recv"`
+			FECDecodes  uint64 `json:"fec_decodes"`
+		} `json:"bcast"`
+	}
+	poll := func(addr string) (st stats, ok bool) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/stats", addr))
+		if err != nil {
+			return st, false
+		}
+		defer resp.Body.Close()
+		return st, json.NewDecoder(resp.Body).Decode(&st) == nil
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("fec demo never completed with fountain decodes")
+		}
+		select {
+		case err := <-errs:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		st2, ok2 := poll(h2)
+		st3, ok3 := poll(h3)
+		if ok2 && ok3 &&
+			st2.Completed["dtn://files/0"] && st3.Completed["dtn://files/0"] &&
+			st2.Bcast != nil && st2.Bcast.Confirmed && len(st2.Bcast.Group) == 3 &&
+			st3.Bcast != nil && st3.Bcast.Confirmed && len(st3.Bcast.Group) == 3 &&
+			st2.Bcast.FECDecodes > 0 && st3.Bcast.FECDecodes > 0 {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)

@@ -66,8 +66,11 @@ type Store interface {
 	// Popularity is the tie-breaking file popularity (0 when unknown).
 	Popularity(uri metadata.URI) float64
 	// DeliverPiece hands a received broadcast to the verify-and-store
-	// path shared with pairwise pieces.
-	DeliverPiece(from trace.NodeID, p *wire.PieceBcast)
+	// path shared with pairwise pieces. It reports whether the piece is
+	// now held (stored, or a duplicate of one already held): false means
+	// the data failed verification, which on the fountain path tells the
+	// engine its decode was poisoned and must restart.
+	DeliverPiece(from trace.NodeID, p *wire.PieceBcast) bool
 }
 
 // Sender ships engine messages to the group: one transmission on a
@@ -75,6 +78,15 @@ type Store interface {
 // It must not block (enqueue-and-drop beats a stalled schedule).
 type Sender interface {
 	Broadcast(ctx context.Context, members []trace.NodeID, m wire.Msg)
+}
+
+// SymbolSender is the optional lossy-lane half of a Sender: one
+// transmission on the best-effort datagram medium every group member
+// listens to. A Sender that does not implement it (or a daemon with no
+// lane configured) keeps the engine on the reliable piece plane — the
+// FEC path never silently loses its transport.
+type SymbolSender interface {
+	BroadcastSymbol(ctx context.Context, m wire.Msg)
 }
 
 // Config parameterizes an Engine.
@@ -93,6 +105,18 @@ type Config struct {
 	// Store and Send connect the engine to the daemon.
 	Store Store
 	Send  Sender
+	// FEC advertises and (when the whole group agrees) uses the
+	// fountain-coded symbol plane for piece data. It only takes effect
+	// when Send also implements SymbolSender.
+	FEC bool
+	// SymbolSize is the coded-symbol payload size in bytes (default
+	// DefaultSymbolSize). Smaller symbols mean more source symbols per
+	// piece — better loss granularity, more per-symbol overhead.
+	SymbolSize int
+	// RelayBudget bounds how many first-sight symbols a receiver
+	// re-broadcasts to the group per Tick (default DefaultRelayBudget;
+	// coopcast-style cooperation, capped so relays cannot storm).
+	RelayBudget int
 	// Logf, when set, receives group lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -114,6 +138,17 @@ type Stats struct {
 	IdleRounds      uint64         `json:"idle_rounds"`
 	PieceBcastsSent uint64         `json:"piece_bcasts_sent"`
 	PieceBcastsRecv uint64         `json:"piece_bcasts_recv"`
+
+	// Fountain-coded data plane (fec.go).
+	FECActive       bool   `json:"fec_active"`
+	SymbolsSent     uint64 `json:"symbols_sent"`
+	SymbolsRecv     uint64 `json:"symbols_recv"`
+	SymbolsRelayed  uint64 `json:"symbols_relayed"`
+	SymbolsBadCheck uint64 `json:"symbols_bad_check"`
+	SymbolAcksSent  uint64 `json:"symbol_acks_sent"`
+	SymbolAcksRecv  uint64 `json:"symbol_acks_recv"`
+	FECDecodes      uint64 `json:"fec_decodes"`
+	FECVerifyFails  uint64 `json:"fec_verify_fails"`
 }
 
 // edge is an undirected adjacency edge, stored with a < b.
@@ -130,6 +165,7 @@ func mkEdge(a, b trace.NodeID) edge {
 type view struct {
 	members []trace.NodeID
 	wants   []wire.GroupWant
+	fec     bool
 	at      time.Time
 }
 
@@ -153,6 +189,13 @@ type Engine struct {
 	round     uint64
 	lastGrant map[pieceKey]uint64
 	counters  Stats
+
+	// Fountain-coded data plane (fec.go). symbols is non-nil only when
+	// Config.FEC is set and the Sender has a symbol lane.
+	symbols    SymbolSender
+	fecSend    map[pieceKey]*fecStream
+	fecRecv    map[pieceKey]*fecBlock
+	relayQuota int
 }
 
 // New returns an engine with defaults applied.
@@ -163,12 +206,26 @@ func New(cfg Config) *Engine {
 	if cfg.Window <= 0 {
 		cfg.Window = 5 * time.Second
 	}
-	return &Engine{
+	if cfg.SymbolSize <= 0 {
+		cfg.SymbolSize = DefaultSymbolSize
+	}
+	if cfg.RelayBudget <= 0 {
+		cfg.RelayBudget = DefaultRelayBudget
+	}
+	e := &Engine{
 		cfg:       cfg,
 		edges:     make(map[edge]time.Time),
 		views:     make(map[trace.NodeID]*view),
 		lastGrant: make(map[pieceKey]uint64),
+		fecSend:   make(map[pieceKey]*fecStream),
+		fecRecv:   make(map[pieceKey]*fecBlock),
 	}
+	if cfg.FEC {
+		if ss, ok := cfg.Send.(SymbolSender); ok {
+			e.symbols = ss
+		}
+	}
+	return e
 }
 
 func (e *Engine) logf(format string, args ...any) {
@@ -200,7 +257,7 @@ func (e *Engine) HandleGroup(ctx context.Context, from trace.NodeID, msg wire.Ms
 		e.counters.GroupHellosRecv++
 		members := append([]trace.NodeID(nil), v.Members...)
 		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		e.views[from] = &view{members: members, wants: v.Wants, at: time.Now()}
+		e.views[from] = &view{members: members, wants: v.Wants, fec: v.FEC, at: time.Now()}
 		if v.Round > e.round {
 			e.round = v.Round
 		}
@@ -226,6 +283,10 @@ func (e *Engine) HandleGroup(ctx context.Context, from trace.NodeID, msg wire.Ms
 		// GroupHello and the piece becomes a candidate again.
 		e.markHaveLocked(v.URI, v.Index)
 		e.cfg.Store.DeliverPiece(from, v)
+	case *wire.Symbol:
+		e.handleSymbolLocked(ctx, v)
+	case *wire.SymbolAck:
+		e.handleSymbolAckLocked(from, v)
 	}
 }
 
@@ -255,6 +316,7 @@ func (e *Engine) Stats() Stats {
 	st.Sequencer = clique.Coordinator(e.group)
 	st.Round = e.round
 	st.TitForTat = e.cfg.TitForTat
+	st.FECActive = e.fecActiveLocked()
 	return st
 }
 
@@ -289,7 +351,12 @@ func (e *Engine) Tick(ctx context.Context) {
 	}
 	// The view keeps its own copy of the bitsets: the announcement below
 	// may sit in a send queue while markHaveLocked updates the view.
-	e.views[e.cfg.Self] = &view{members: e.group, wants: cloneWants(selfWants), at: now}
+	e.views[e.cfg.Self] = &view{
+		members: e.group, wants: cloneWants(selfWants),
+		fec: e.symbols != nil, at: now,
+	}
+	e.relayQuota = e.cfg.RelayBudget
+	e.pruneFECLocked()
 	if e.group == nil {
 		return
 	}
@@ -299,6 +366,7 @@ func (e *Engine) Tick(ctx context.Context) {
 		Members: e.group,
 		Round:   e.round,
 		Wants:   selfWants,
+		FEC:     e.symbols != nil,
 	})
 	e.counters.GroupHellosSent++
 
@@ -404,8 +472,9 @@ type candidate struct {
 }
 
 // candidatesLocked enumerates transferable pieces from the members'
-// announced piece state.
-func (e *Engine) candidatesLocked(now time.Time) []*candidate {
+// announced piece state. suppressed counts pieces held back only by
+// the regrant window — wanted, held, but granted too recently.
+func (e *Engine) candidatesLocked(now time.Time) (out []*candidate, suppressed int) {
 	byKey := make(map[pieceKey]*candidate)
 	for _, m := range e.group {
 		v := e.views[m]
@@ -432,12 +501,20 @@ func (e *Engine) candidatesLocked(now time.Time) []*candidate {
 			}
 		}
 	}
-	var out []*candidate
+	window := uint64(regrantAfter)
+	if e.fecActiveLocked() {
+		// A symbol burst needs a beat to decode and another for the
+		// aggregate ack to cross the lossy control plane; re-bursting on
+		// the piece plane's cadence ships fresh symbols to members that
+		// already finished the block.
+		window = fecRegrantAfter
+	}
 	for k, c := range byKey {
 		if len(c.holders) == 0 || c.requesters+c.lackers == 0 {
 			continue
 		}
-		if granted, ok := e.lastGrant[k]; ok && e.round+1-granted < regrantAfter {
+		if granted, ok := e.lastGrant[k]; ok && e.round+1-granted < window {
+			suppressed++
 			continue // in flight: give the broadcast a beat to land
 		}
 		c.popularity = e.cfg.Store.Popularity(k.uri)
@@ -463,13 +540,21 @@ func (e *Engine) candidatesLocked(now time.Time) []*candidate {
 		}
 		return a.key.piece < b.key.piece
 	})
-	return out
+	return out, suppressed
 }
 
 // runRoundLocked executes one schedule round as the sequencer.
 func (e *Engine) runRoundLocked(ctx context.Context, now time.Time) {
-	cands := e.candidatesLocked(now)
+	cands, suppressed := e.candidatesLocked(now)
 	if len(cands) == 0 {
+		// The regrant window is measured in rounds and rounds only
+		// advance when something is granted — so a beat that is idle
+		// *only because* every candidate sits inside the window must
+		// still advance the round, or the last unacked piece of a
+		// transfer is suppressed forever and never retried.
+		if suppressed > 0 {
+			e.round++
+		}
 		e.counters.IdleRounds++
 		return
 	}
@@ -503,7 +588,7 @@ func (e *Engine) runRoundLocked(ctx context.Context, now time.Time) {
 func (e *Engine) transmitLocked(ctx context.Context, g *wire.Grant) {
 	uri, piece := g.URI, int(g.Piece)
 	if uri == "" || g.Piece == wire.NoPiece {
-		cands := e.candidatesLocked(time.Now())
+		cands, _ := e.candidatesLocked(time.Now())
 		found := false
 		for _, c := range cands {
 			if contains(c.holders, e.cfg.Self) {
@@ -520,6 +605,10 @@ func (e *Engine) transmitLocked(ctx context.Context, g *wire.Grant) {
 	data, total, ok := e.cfg.Store.PieceData(uri, piece)
 	if !ok {
 		return // stale grant: we no longer (or never did) hold it
+	}
+	if e.fecActiveLocked() {
+		e.transmitSymbolsLocked(ctx, g.Round, uri, piece, total, data)
+		return
 	}
 	e.sendLocked(ctx, &wire.PieceBcast{
 		From: e.cfg.Self, Round: g.Round, URI: uri, Index: piece, Total: total, Data: data,

@@ -23,12 +23,18 @@ type harness struct {
 	engines map[trace.NodeID]*Engine
 	stores  map[trace.NodeID]*fakeStore
 	queue   []delivery
+
+	// dropSymbol, when set, is the lossy datagram medium: it is asked
+	// once per (symbol delivery, receiver) and true means that receiver
+	// never hears the datagram. Control-plane frames are never dropped.
+	dropSymbol func(to trace.NodeID) bool
 }
 
 type delivery struct {
 	from    trace.NodeID
 	members []trace.NodeID
 	frame   []byte
+	symbol  bool // rode the lossy lane, subject to dropSymbol
 }
 
 func newHarness() *harness {
@@ -100,6 +106,9 @@ func (h *harness) pump(t *testing.T) {
 			if e == nil {
 				continue
 			}
+			if d.symbol && h.dropSymbol != nil && h.dropSymbol(m) {
+				continue
+			}
 			msg, err := wire.Decode(d.frame)
 			if err != nil {
 				t.Fatalf("fake medium decode: %v", err)
@@ -150,6 +159,10 @@ type fakeStore struct {
 	files     map[metadata.URI]*fakeFile
 	delivered int // DeliverPiece calls, duplicates included
 	dups      int
+
+	// rejectDeliveries fails the next N deliveries (verify-reject
+	// simulation for the fountain plane's poisoned-decode path).
+	rejectDeliveries int
 }
 
 func (s *fakeStore) setLive(ids []trace.NodeID) {
@@ -233,19 +246,24 @@ func (s *fakeStore) Popularity(uri metadata.URI) float64 {
 	return 0
 }
 
-func (s *fakeStore) DeliverPiece(_ trace.NodeID, p *wire.PieceBcast) {
+func (s *fakeStore) DeliverPiece(_ trace.NodeID, p *wire.PieceBcast) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.delivered++
+	if s.rejectDeliveries > 0 {
+		s.rejectDeliveries--
+		return false
+	}
 	f := s.files[p.URI]
 	if f == nil {
-		return // not tracking this file
+		return false // not tracking this file
 	}
 	if _, ok := f.have[p.Index]; ok {
 		s.dups++
-		return
+		return true
 	}
 	f.have[p.Index] = append([]byte(nil), p.Data...)
+	return true
 }
 
 // TestGroupFormsAndConfirms: a full mesh of three engines converges to

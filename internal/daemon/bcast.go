@@ -66,6 +66,26 @@ func (d *Daemon) bcastPump(ctx context.Context) {
 	}
 }
 
+// symbolPump drains the lossy datagram lane into the engine. Loss is
+// the lane's job description, so errors from a single Recv are not
+// retried per-frame; only a dead lane ends the pump.
+func (d *Daemon) symbolPump(ctx context.Context) {
+	for {
+		msg, err := d.cfg.Symbols.Recv(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				d.logf("daemon %d: symbol lane down: %v", d.cfg.ID, err)
+			}
+			return
+		}
+		from, ok := groupFrom(msg)
+		if !ok || from == d.cfg.ID || d.quarantined(from) {
+			continue
+		}
+		d.bcast.HandleGroup(ctx, from, msg)
+	}
+}
+
 // groupFrom extracts the sender a group message claims; non-group
 // traffic on the medium is ignored.
 func groupFrom(msg wire.Msg) (trace.NodeID, bool) {
@@ -77,6 +97,10 @@ func groupFrom(msg wire.Msg) (trace.NodeID, bool) {
 	case *wire.Grant:
 		return v.From, true
 	case *wire.PieceBcast:
+		return v.From, true
+	case *wire.Symbol:
+		return v.From, true
+	case *wire.SymbolAck:
 		return v.From, true
 	}
 	return 0, false
@@ -104,6 +128,26 @@ func (s *bcastSender) Broadcast(_ context.Context, members []trace.NodeID, m wir
 		if id != d.cfg.ID {
 			d.enqueue(id, m)
 		}
+	}
+}
+
+// BroadcastSymbol ships one coded symbol on the datagram lane. It is
+// the lossy half of the Sender: no fan-out fallback, no retry — a
+// failed send is indistinguishable from a lost datagram, and the
+// engine's top-up bursts absorb both. The engine only activates the
+// symbol plane when Config.FEC is set, which the daemon gates on the
+// lane existing, so the nil check is a belt against misconfiguration,
+// not a code path.
+func (s *bcastSender) BroadcastSymbol(_ context.Context, m wire.Msg) {
+	d := (*Daemon)(s)
+	lane := d.cfg.Symbols
+	if lane == nil {
+		return
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := lane.Send(sctx, m); err != nil {
+		d.logf("daemon %d: symbol lane %v: %v", d.cfg.ID, m.Type(), err)
 	}
 }
 
@@ -200,7 +244,9 @@ func (s *bcastStore) Popularity(uri metadata.URI) float64 {
 // DeliverPiece feeds a broadcast piece through the pairwise receive
 // path: verification against stored metadata, idempotent store (a piece
 // already heard pairwise counts as a duplicate, not a conflict), and
-// completion detection.
-func (s *bcastStore) DeliverPiece(from trace.NodeID, p *wire.PieceBcast) {
-	(*Daemon)(s).onPiece(from, p.AsPiece())
+// completion detection. The report feeds the fountain plane: false
+// (verification failed, metadata missing) makes the engine restart the
+// piece's symbol collection instead of acking poisoned bytes.
+func (s *bcastStore) DeliverPiece(from trace.NodeID, p *wire.PieceBcast) bool {
+	return (*Daemon)(s).onPiece(from, p.AsPiece())
 }

@@ -165,6 +165,20 @@ type Config struct {
 	// per-member unicast fan-out. The daemon pumps it but does not own
 	// it.
 	Broadcast transport.BroadcastConn
+	// Symbols, when non-nil alongside EnableFEC, is the best-effort
+	// datagram lane for fountain-coded piece data. The daemon pumps it
+	// but does not own it.
+	Symbols transport.SymbolConn
+	// EnableFEC advertises the fountain-coded symbol plane to the
+	// group; it takes effect only when Symbols is also set, and the
+	// group uses it only when every member advertises it.
+	EnableFEC bool
+	// SymbolSize is the coded-symbol payload size (default
+	// bcast.DefaultSymbolSize).
+	SymbolSize int
+	// RelayBudget bounds per-tick cooperative symbol relays (default
+	// bcast.DefaultRelayBudget).
+	RelayBudget int
 	// Fault, when the transport is wrapped in a fault injector, surfaces
 	// its counters under /stats.
 	Fault *fault.Transport
@@ -399,6 +413,9 @@ func New(cfg Config) (*Daemon, error) {
 			Window:       cfg.LivenessWindow,
 			Store:        (*bcastStore)(d),
 			Send:         (*bcastSender)(d),
+			FEC:          cfg.EnableFEC && cfg.Symbols != nil,
+			SymbolSize:   cfg.SymbolSize,
+			RelayBudget:  cfg.RelayBudget,
 			Logf:         cfg.Logf,
 		})
 	}
@@ -593,6 +610,13 @@ func (d *Daemon) Run(ctx context.Context) error {
 			go func() {
 				defer wg.Done()
 				d.bcastPump(ctx)
+			}()
+		}
+		if d.cfg.Symbols != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.symbolPump(ctx)
 			}()
 		}
 	}
@@ -1153,9 +1177,14 @@ func (d *Daemon) bumpBadSignature(from trace.NodeID) {
 
 // onPiece verifies a piece against the stored record and stores it;
 // the piggybacked record (MBT-QM) is processed first when present.
-func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
+// onPiece runs the shared verify-and-store path for a received piece
+// (pairwise, broadcast, or fountain-decoded). It reports whether the
+// piece is now held — stored fresh or a duplicate of one already held
+// — so the fountain path can distinguish a clean decode from poisoned
+// bytes that failed verification.
+func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) bool {
 	if d.quarantined(from) {
-		return
+		return false
 	}
 	if p.Piggyback != nil {
 		d.onMetadata(from, p.Piggyback)
@@ -1166,12 +1195,12 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 	if sm == nil || sm.Meta.Expired(now) {
 		d.counters.piecesNoMeta++
 		d.mu.Unlock()
-		return
+		return false
 	}
 	if !p.Verify(sm.Meta) {
 		d.counters.piecesRejected++
 		d.mu.Unlock()
-		return
+		return false
 	}
 	total := sm.Meta.NumPieces()
 	ps := d.node.Pieces(p.URI)
@@ -1184,7 +1213,7 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 		// re-delivers it.
 		if !d.persist(&store.PieceRecord{URI: p.URI, Index: p.Index, Total: total}) {
 			d.mu.Unlock()
-			return
+			return false
 		}
 		added = d.node.AddPiece(p.URI, p.Index, total)
 	}
@@ -1223,6 +1252,7 @@ func (d *Daemon) onPiece(from trace.NodeID, p *wire.Piece) {
 			d.cfg.OnComplete(p.URI)
 		}
 	}
+	return true
 }
 
 // CompletedURIs lists finished downloads, sorted.

@@ -78,6 +78,10 @@ type Config struct {
 	Kill float64
 	// DialFail is the probability a Dial fails outright.
 	DialFail float64
+	// SymbolLoss is the probability a symbol-lane datagram silently
+	// vanishes (WrapSymbols), independent of the frame-level Drop so
+	// the lossy data plane can be shaped separately from the conns.
+	SymbolLoss float64
 	// DelayMin and DelayMax bound the extra per-message latency, drawn
 	// uniformly. Zero DelayMax means no added latency.
 	DelayMin, DelayMax time.Duration
@@ -100,6 +104,14 @@ type Stats struct {
 	Killed           uint64 `json:"killed"`
 	DialsFailed      uint64 `json:"dials_failed"`
 	DialsBlocked     uint64 `json:"dials_blocked"`
+
+	// Symbol-lane datagram counters (WrapSymbols).
+	SymbolsSent             uint64 `json:"symbols_sent"`
+	SymbolsDelivered        uint64 `json:"symbols_delivered"`
+	SymbolsLost             uint64 `json:"symbols_lost"`
+	SymbolsPartitionDropped uint64 `json:"symbols_partition_dropped"`
+	SymbolsCorruptDelivered uint64 `json:"symbols_corrupt_delivered"`
+	SymbolsCorruptLost      uint64 `json:"symbols_corrupt_lost"`
 }
 
 // Transport wraps an inner transport with fault injection. Construct

@@ -17,6 +17,7 @@ import (
 //	reorder=F         per-message reorder probability
 //	kill=F            per-message abrupt-kill probability
 //	dialfail=F        per-dial failure probability
+//	symloss=F         per-datagram symbol-lane loss probability
 //	delay=D           max per-message extra latency (e.g. 50ms)
 //	delaymin=D        min per-message extra latency
 //	partition=D1-D2   one scripted partition from offset D1 to D2
@@ -49,6 +50,8 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.Kill, err = parseRate(val)
 		case "dialfail":
 			cfg.DialFail, err = parseRate(val)
+		case "symloss":
+			cfg.SymbolLoss, err = parseRate(val)
 		case "delay":
 			cfg.DelayMax, err = time.ParseDuration(val)
 		case "delaymin":

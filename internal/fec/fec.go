@@ -1,0 +1,411 @@
+// Package fec implements a rateless erasure code in the LT/online-code
+// family — the stdlib-only stand-in for the RaptorQ (RFC 6330) codes
+// coopcast-style symbol broadcast builds on. A piece of data is sliced
+// into K fixed-size source symbols, and the encoder emits an unbounded
+// stream of coded symbols, each the XOR of a pseudo-random subset of
+// the source symbols. A receiver recovers the piece from *any* subset
+// of coded symbols whose equations span the K sources — typically
+// K(1+ε) symbols for a small ε — which is what makes the code the
+// right data plane for a lossy broadcast medium: the sender never
+// needs to know which symbols were lost, and every received symbol
+// helps every receiver.
+//
+// Determinism is load-bearing: a coded symbol is fully described by
+// (block seed, symbol index). Both sides derive the symbol's degree
+// and neighbor set from a PRNG seeded by that pair, so the wire
+// carries only the index and payload, relays can forward symbols they
+// never decoded, and a replayed test run sees byte-identical streams.
+//
+// The degree distribution is the robust soliton of Luby's LT paper:
+// the ideal soliton ρ (one degree-1 symbol in expectation, then
+// 1/d(d-1)) plus the spike τ that keeps the decoder's ripple alive,
+// normalized to a CDF. The decoder is a Gaussian eliminator over
+// GF(2) with one uint64-bitset row per pivot — for the symbol counts
+// a piece produces (K ≤ a few hundred) this is both simpler and
+// stricter than a peeling decoder: decode succeeds exactly when the
+// received equations reach rank K, and fails closed below it.
+package fec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Robust-soliton shape parameters (Luby's c and δ). They trade the
+// expected decoding overhead against the variance of the symbol
+// degrees; these values keep the overhead factor small for the K this
+// package sees without fattening the high-degree tail.
+const (
+	solitonC     = 0.1
+	solitonDelta = 0.5
+)
+
+// MaxK bounds the source-symbol count per block: one piece at the
+// protocol's 256 KB piece size and a 256-byte symbol is 1024 symbols,
+// and the quadratic bitset eliminator stays cheap well past that.
+const MaxK = 1 << 14
+
+// Params names one coded block's symbol stream. Two endpoints holding
+// equal Params derive identical degree and neighbor sequences, so
+// Params plus a symbol index is a complete description of a symbol.
+type Params struct {
+	// DataLen is the original block length in bytes.
+	DataLen int
+	// SymbolSize is the payload bytes per symbol; the last source
+	// symbol is zero-padded up to it.
+	SymbolSize int
+	// Seed names the stream: degree and neighbor choices for symbol i
+	// are drawn from a PRNG keyed by (Seed, i).
+	Seed uint64
+}
+
+// Validate reports whether the parameters describe a usable block.
+func (p Params) Validate() error {
+	if p.DataLen <= 0 {
+		return fmt.Errorf("fec: data length %d", p.DataLen)
+	}
+	if p.SymbolSize <= 0 {
+		return fmt.Errorf("fec: symbol size %d", p.SymbolSize)
+	}
+	if k := p.K(); k > MaxK {
+		return fmt.Errorf("fec: %d source symbols exceeds max %d", k, MaxK)
+	}
+	return nil
+}
+
+// K is the source-symbol count: ⌈DataLen/SymbolSize⌉.
+func (p Params) K() int {
+	if p.SymbolSize <= 0 {
+		return 0
+	}
+	return (p.DataLen + p.SymbolSize - 1) / p.SymbolSize
+}
+
+// soliton is the precomputed robust-soliton CDF for one K.
+type soliton struct {
+	k   int
+	cdf []float64 // cdf[d-1] = P(degree <= d)
+}
+
+// newSoliton builds the robust-soliton distribution μ for k source
+// symbols: μ(d) ∝ ρ(d) + τ(d) with ρ the ideal soliton and τ the
+// robust spike at d = k/R.
+func newSoliton(k int) *soliton {
+	if k == 1 {
+		return &soliton{k: 1, cdf: []float64{1}}
+	}
+	r := solitonC * math.Log(float64(k)/solitonDelta) * math.Sqrt(float64(k))
+	if r < 1 {
+		r = 1
+	}
+	spike := int(math.Floor(float64(k) / r))
+	if spike < 1 {
+		spike = 1
+	}
+	if spike > k {
+		spike = k
+	}
+	pdf := make([]float64, k+1) // 1-indexed by degree
+	pdf[1] = 1 / float64(k)
+	for d := 2; d <= k; d++ {
+		pdf[d] = 1 / (float64(d) * float64(d-1))
+	}
+	for d := 1; d < spike; d++ {
+		pdf[d] += r / (float64(d) * float64(k))
+	}
+	pdf[spike] += r * math.Log(r/solitonDelta) / float64(k)
+
+	cdf := make([]float64, k)
+	sum := 0.0
+	for d := 1; d <= k; d++ {
+		sum += pdf[d]
+	}
+	acc := 0.0
+	for d := 1; d <= k; d++ {
+		acc += pdf[d] / sum
+		cdf[d-1] = acc
+	}
+	cdf[k-1] = 1 // guard against rounding
+	return &soliton{k: k, cdf: cdf}
+}
+
+// degree draws one symbol degree in [1, k] from the CDF.
+func (s *soliton) degree(u float64) int {
+	lo, hi := 0, s.k-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// symbolRNG keys the per-symbol PRNG stream: mixing the index through
+// a SplitMix64-style odd multiplier decorrelates adjacent indices
+// before the generator's own seeding expands the state.
+func symbolRNG(seed uint64, idx uint32) *rng.Rand {
+	return rng.New(seed ^ (uint64(idx)+1)*0x9E3779B97F4A7C15)
+}
+
+// denseQ is the fraction of non-systematic symbols drawn dense (each
+// source included with probability 1/2) instead of from the soliton
+// CDF. Dense rows are the eliminator's rank insurance: a random dense
+// row is dependent on an r-dimensional deficient span with probability
+// ~2^-(k-r), so a handful of them collapses the chance that K(1+eps)
+// received symbols stall below full rank — the small-K regime where
+// the pure soliton distribution leaves LT codes flaky.
+const denseQ = 0.15
+
+// neighbors derives coded symbol idx's source set. The stream is
+// systematic first — symbol i < K is source symbol i verbatim, so an
+// unlossy receiver decodes with zero overhead — then rateless: a
+// degree drawn from the soliton CDF (or a dense row, see denseQ) and
+// that many distinct source indices by partial Fisher–Yates, all from
+// the (seed, idx)-keyed stream.
+func neighbors(s *soliton, seed uint64, idx uint32, scratch []int) []int {
+	if int(idx) < s.k {
+		scratch[0] = int(idx)
+		return scratch[:1]
+	}
+	r := symbolRNG(seed, idx)
+	if r.Float64() < denseQ {
+		d := 0
+		for i := 0; i < s.k; i++ {
+			if r.Bool(0.5) {
+				scratch[d] = i
+				d++
+			}
+		}
+		if d > 0 {
+			return scratch[:d]
+		}
+	}
+	d := s.degree(r.Float64())
+	for i := range scratch {
+		scratch[i] = i
+	}
+	for i := 0; i < d; i++ {
+		j := i + r.Intn(s.k-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+	}
+	return scratch[:d]
+}
+
+// Encoder emits the coded symbol stream for one block. Construct with
+// NewEncoder; Symbol may be called with any index, in any order, from
+// one goroutine at a time.
+type Encoder struct {
+	p       Params
+	sol     *soliton
+	src     []byte // K·SymbolSize bytes, zero-padded copy of the data
+	scratch []int
+}
+
+// NewEncoder slices data into ⌈len(data)/symbolSize⌉ source symbols
+// under the given stream seed.
+func NewEncoder(data []byte, symbolSize int, seed uint64) (*Encoder, error) {
+	p := Params{DataLen: len(data), SymbolSize: symbolSize, Seed: seed}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.K()
+	src := make([]byte, k*symbolSize)
+	copy(src, data)
+	return &Encoder{p: p, sol: newSoliton(k), src: src, scratch: make([]int, k)}, nil
+}
+
+// Params returns the block's stream identity.
+func (e *Encoder) Params() Params { return e.p }
+
+// K is the source-symbol count.
+func (e *Encoder) K() int { return e.sol.k }
+
+// Symbol materializes coded symbol idx: the XOR of its derived source
+// set. The returned slice is freshly allocated.
+func (e *Encoder) Symbol(idx uint32) []byte {
+	return e.AppendSymbol(nil, idx)
+}
+
+// AppendSymbol appends coded symbol idx to dst and returns the
+// extended slice, so a steady-state sender can reuse one buffer.
+func (e *Encoder) AppendSymbol(dst []byte, idx uint32) []byte {
+	at := len(dst)
+	dst = append(dst, make([]byte, e.p.SymbolSize)...)
+	out := dst[at:]
+	for _, n := range neighbors(e.sol, e.p.Seed, idx, e.scratch) {
+		xorBytes(out, e.src[n*e.p.SymbolSize:(n+1)*e.p.SymbolSize])
+	}
+	return dst
+}
+
+// geRow is one reduced equation: a GF(2) coefficient bitset over the
+// source symbols and the XOR of the corresponding payloads.
+type geRow struct {
+	coef []uint64
+	data []byte
+}
+
+// Decoder reconstructs one block from any spanning subset of its
+// coded symbols. Construct with NewDecoder; not safe for concurrent
+// use.
+type Decoder struct {
+	p     Params
+	sol   *soliton
+	k     int
+	words int
+	// rows[c] is the pivot row whose lowest set coefficient is c.
+	rows    []*geRow
+	rank    int
+	seen    map[uint32]bool
+	scratch []int
+	solved  []byte // assembled data once rank == k
+}
+
+// NewDecoder prepares an empty decoder for the block p describes.
+func NewDecoder(p Params) (*Decoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.K()
+	return &Decoder{
+		p:       p,
+		sol:     newSoliton(k),
+		k:       k,
+		words:   (k + 63) / 64,
+		rows:    make([]*geRow, k),
+		seen:    make(map[uint32]bool),
+		scratch: make([]int, k),
+	}, nil
+}
+
+// Params returns the block's stream identity.
+func (d *Decoder) Params() Params { return d.p }
+
+// K is the source-symbol count.
+func (d *Decoder) K() int { return d.k }
+
+// Received counts distinct symbol indices absorbed so far.
+func (d *Decoder) Received() int { return len(d.seen) }
+
+// Rank is the number of independent equations held; decode completes
+// at Rank == K.
+func (d *Decoder) Rank() int { return d.rank }
+
+// Done reports whether the block is fully decodable.
+func (d *Decoder) Done() bool { return d.rank == d.k }
+
+// Add absorbs coded symbol idx and reports whether the block is now
+// decodable. Duplicate indices and linearly dependent symbols are
+// absorbed as no-ops; a payload of the wrong length is an error.
+func (d *Decoder) Add(idx uint32, payload []byte) (bool, error) {
+	if len(payload) != d.p.SymbolSize {
+		return d.Done(), fmt.Errorf("fec: symbol %d payload %d bytes, want %d",
+			idx, len(payload), d.p.SymbolSize)
+	}
+	if d.Done() || d.seen[idx] {
+		return d.Done(), nil
+	}
+	d.seen[idx] = true
+
+	row := &geRow{coef: make([]uint64, d.words), data: append([]byte(nil), payload...)}
+	for _, n := range neighbors(d.sol, d.p.Seed, idx, d.scratch) {
+		row.coef[n/64] ^= 1 << (n % 64)
+	}
+	// Reduce against the pivots until the row dies or claims a new one.
+	for {
+		c, ok := lowestBit(row.coef)
+		if !ok {
+			return false, nil // linearly dependent: nothing new
+		}
+		if d.rows[c] == nil {
+			d.rows[c] = row
+			d.rank++
+			if d.rank == d.k {
+				d.solve()
+			}
+			return d.Done(), nil
+		}
+		xorWords(row.coef, d.rows[c].coef)
+		xorBytes(row.data, d.rows[c].data)
+	}
+}
+
+// solve back-substitutes the full-rank system to the identity, leaving
+// rows[i].data = source symbol i, and assembles the block.
+func (d *Decoder) solve() {
+	for c := d.k - 1; c > 0; c-- {
+		piv := d.rows[c]
+		for c2 := 0; c2 < c; c2++ {
+			r := d.rows[c2]
+			if r.coef[c/64]&(1<<(c%64)) != 0 {
+				xorWords(r.coef, piv.coef)
+				xorBytes(r.data, piv.data)
+			}
+		}
+	}
+	out := make([]byte, d.k*d.p.SymbolSize)
+	for i, r := range d.rows {
+		copy(out[i*d.p.SymbolSize:], r.data)
+	}
+	d.solved = out[:d.p.DataLen]
+}
+
+// Data returns the decoded block once Done; (nil, false) below rank K
+// — the decoder fails closed rather than guessing at missing symbols.
+func (d *Decoder) Data() ([]byte, bool) {
+	if !d.Done() {
+		return nil, false
+	}
+	return d.solved, true
+}
+
+// Reset discards every absorbed symbol, returning the decoder to its
+// empty state. The recovery path for a poisoned system: a corrupted
+// payload that slipped past integrity checks XORs garbage into the
+// eliminator, so the completed block fails verification and the caller
+// starts the stream's collection over.
+func (d *Decoder) Reset() {
+	for i := range d.rows {
+		d.rows[i] = nil
+	}
+	d.rank = 0
+	d.solved = nil
+	d.seen = make(map[uint32]bool)
+}
+
+// lowestBit returns the index of the lowest set bit of the bitset.
+func lowestBit(w []uint64) (int, bool) {
+	for i, v := range w {
+		if v != 0 {
+			return i*64 + bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, false
+}
+
+// xorWords folds src into dst (equal lengths).
+func xorWords(dst, src []uint64) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// xorBytes folds src into dst (equal lengths), eight bytes at a time.
+func xorBytes(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -57,7 +57,9 @@ type Handler interface {
 
 // GroupHandler is the optional extension a Handler implements to
 // receive the broadcast-group messages of §V (*wire.GroupHello,
-// *wire.Schedule, *wire.Grant, *wire.PieceBcast). A Handler without it
+// *wire.Schedule, *wire.Grant, *wire.PieceBcast) plus the fountain
+// frames (*wire.Symbol, *wire.SymbolAck) when they arrive over a
+// unicast session instead of the datagram lane. A Handler without it
 // drops them, so group-aware and group-oblivious daemons interoperate.
 type GroupHandler interface {
 	HandleGroup(from trace.NodeID, msg wire.Msg)
@@ -441,7 +443,8 @@ func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandlePiece(from, v)
 		}
-	case *wire.GroupHello, *wire.Schedule, *wire.Grant, *wire.PieceBcast:
+	case *wire.GroupHello, *wire.Schedule, *wire.Grant, *wire.PieceBcast,
+		*wire.Symbol, *wire.SymbolAck:
 		m.addStat(func(s *Stats) { s.GroupRecv++ })
 		if gh, ok := m.cfg.Handler.(GroupHandler); ok {
 			gh.HandleGroup(from, msg)

@@ -3,8 +3,10 @@ package transport
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
+	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -46,6 +48,15 @@ type BroadcastDomain struct {
 	members map[string]*domainConn
 	missed  uint64
 	closed  bool
+
+	// Loss shaping for the symbol lane: each receiver draws from its own
+	// (lossSeed, addr)-derived stream, so whether a given member hears a
+	// given transmission never depends on Go's map iteration order — a
+	// replayed test sees the identical loss pattern.
+	lossRate float64
+	lossSeed uint64
+	lossRNG  map[string]*rng.Rand
+	lost     uint64
 }
 
 // NewBroadcastDomain returns an empty named shared medium.
@@ -106,11 +117,45 @@ func (d *BroadcastDomain) Members() []string {
 }
 
 // Missed counts frames dropped because a member's receive queue was
-// full — the shared medium's only loss mode.
+// full — the shared medium's backpressure loss mode.
 func (d *BroadcastDomain) Missed() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.missed
+}
+
+// SetLoss makes the medium drop each (transmission, receiver) pair
+// independently with the given probability, from per-receiver streams
+// derived from seed — the loopback model of a lossy datagram lane.
+// Rate 0 restores perfect delivery. Existing members' streams restart
+// from the new seed.
+func (d *BroadcastDomain) SetLoss(rate float64, seed uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lossRate = rate
+	d.lossSeed = seed
+	d.lossRNG = make(map[string]*rng.Rand)
+}
+
+// Lost counts frames dropped by loss shaping (SetLoss), as distinct
+// from queue-overflow Missed.
+func (d *BroadcastDomain) Lost() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lost
+}
+
+// memberLoss returns addr's loss stream, creating it on first use.
+// Callers hold d.mu.
+func (d *BroadcastDomain) memberLoss(addr string) *rng.Rand {
+	r := d.lossRNG[addr]
+	if r == nil {
+		h := fnv.New64a()
+		h.Write([]byte(addr))
+		r = rng.New(d.lossSeed ^ h.Sum64())
+		d.lossRNG[addr] = r
+	}
+	return r
 }
 
 // Close evicts every member; their Recvs return ErrClosed.
@@ -140,6 +185,10 @@ func (d *BroadcastDomain) transmit(from *domainConn, frame []byte) error {
 	}
 	for addr, c := range d.members {
 		if addr == from.addr {
+			continue
+		}
+		if d.lossRate > 0 && d.memberLoss(addr).Float64() < d.lossRate {
+			d.lost++
 			continue
 		}
 		select {

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testSymbol(idx uint32) *wire.Symbol {
+	s := &wire.Symbol{
+		From: 1, Round: 3, URI: "dtn://files/9", Piece: 0, Total: 4,
+		Seed: 0xABCD, DataLen: 128, Index: idx,
+		Payload: []byte(fmt.Sprintf("payload-%04d", idx)),
+	}
+	s.Seal()
+	return s
+}
+
+// TestSymbolDomainSeparateNamespace: the symbol lane shares the
+// loopback network but not the control domain's member namespace, so
+// the same node address can join both.
+func TestSymbolDomainSeparateNamespace(t *testing.T) {
+	n := NewLoopback()
+	ctrl := n.Domain("g")
+	sym := n.SymbolDomain("g")
+	if ctrl == sym {
+		t.Fatal("control and symbol domains are the same medium")
+	}
+	if _, err := ctrl.Join("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sym.Join("n1"); err != nil {
+		t.Fatalf("same addr on symbol lane: %v", err)
+	}
+	// Loss shaping on the symbol lane must not leak to control.
+	sym.SetLoss(1.0, 42)
+	if ctrl.lossRate != 0 {
+		t.Fatal("loss leaked to the control domain")
+	}
+}
+
+// TestSymbolDomainLossDeterministic: the same seed yields the exact
+// same per-receiver delivery pattern across runs, regardless of map
+// iteration order, and the loss rate lands near the configured rate.
+func TestSymbolDomainLossDeterministic(t *testing.T) {
+	const sends = 400
+	run := func() (got map[string][]uint32, lost uint64) {
+		n := NewLoopback()
+		d := n.SymbolDomain("g")
+		d.SetLoss(0.3, 99)
+		sender, err := d.Join("tx")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := map[string]BroadcastConn{}
+		for _, addr := range []string{"rx-a", "rx-b", "rx-c"} {
+			c, err := d.Join(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx[addr] = c
+		}
+		ctx := context.Background()
+		for i := uint32(0); i < sends; i++ {
+			if err := sender.Send(ctx, testSymbol(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got = map[string][]uint32{}
+		for addr, c := range rx {
+			for {
+				rctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				m, err := c.Recv(rctx)
+				cancel()
+				if err != nil {
+					break
+				}
+				got[addr] = append(got[addr], m.(*wire.Symbol).Index)
+			}
+		}
+		return got, d.Lost()
+	}
+	a, lostA := run()
+	b, lostB := run()
+	if lostA == 0 || lostA != lostB {
+		t.Fatalf("lost counts differ or zero: %d vs %d", lostA, lostB)
+	}
+	total := 0
+	for addr := range a {
+		if len(a[addr]) != len(b[addr]) {
+			t.Fatalf("%s: %d vs %d delivered", addr, len(a[addr]), len(b[addr]))
+		}
+		for i := range a[addr] {
+			if a[addr][i] != b[addr][i] {
+				t.Fatalf("%s: delivery pattern diverged at %d", addr, i)
+			}
+		}
+		total += len(a[addr])
+	}
+	// 3 receivers × 400 sends at 30% loss ≈ 840 delivered; the queue
+	// never overflows here (queue 256 > 400·0.7 per receiver is false —
+	// drain happens after sending, so cap the expectation loosely).
+	rate := 1 - float64(total)/(3*sends)
+	if rate < 0.2 || rate > 0.45 {
+		t.Fatalf("observed loss rate %.2f, want ≈0.3", rate)
+	}
+}
+
+// TestSymbolDomainNoLossByDefault: without SetLoss the lane behaves
+// like the control domain — every member hears every send.
+func TestSymbolDomainNoLossByDefault(t *testing.T) {
+	n := NewLoopback()
+	d := n.SymbolDomain("g")
+	tx, err := d.Join("tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Join("rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := uint32(0); i < 20; i++ {
+		if err := tx.Send(ctx, testSymbol(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 20; i++ {
+		rctx, cancel := context.WithTimeout(ctx, time.Second)
+		m, err := c.Recv(rctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got := m.(*wire.Symbol).Index; got != i {
+			t.Fatalf("recv %d: index %d", i, got)
+		}
+	}
+	if d.Lost() != 0 {
+		t.Fatalf("lost %d frames without loss shaping", d.Lost())
+	}
+}
+
+// TestUDPLane: symbols cross a real UDP socket pair, garbage datagrams
+// are skipped silently, and Close unblocks Recv.
+func TestUDPLane(t *testing.T) {
+	a, err := NewUDPLane("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPLane("127.0.0.1:0", []string{a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Garbage first: the lane must drop it and keep listening.
+	raw, err := net.Dial("udp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte{0xFF, 0x00, 0xDE, 0xAD})
+	raw.Close()
+
+	ctx := context.Background()
+	want := testSymbol(7)
+	// UDP on loopback is reliable in practice but not in contract;
+	// retry sends until the receiver sees one.
+	var got wire.Msg
+	for try := 0; try < 20 && got == nil; try++ {
+		if err := b.Send(ctx, want); err != nil {
+			t.Fatal(err)
+		}
+		rctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+		m, err := a.Recv(rctx)
+		cancel()
+		if err == nil {
+			got = m
+		}
+	}
+	s, ok := got.(*wire.Symbol)
+	if !ok {
+		t.Fatalf("received %T, want *wire.Symbol", got)
+	}
+	if s.Index != want.Index || !s.CheckOK() {
+		t.Fatalf("symbol mangled in flight: %+v", s)
+	}
+
+	a.Close()
+	rctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if _, err := a.Recv(rctx); err != ErrClosed {
+		t.Fatalf("Recv after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestUDPLaneOversizedSend: a datagram above the lane bound is refused
+// at the sender instead of silently truncated by the kernel.
+func TestUDPLaneOversizedSend(t *testing.T) {
+	a, err := NewUDPLane("127.0.0.1:0", []string{"127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s := testSymbol(0)
+	s.Payload = make([]byte, maxDatagram)
+	s.Seal()
+	if err := a.Send(context.Background(), s); err == nil {
+		t.Fatal("oversized datagram accepted")
+	}
+}

@@ -33,6 +33,8 @@ func seedFrames() [][]byte {
 		EncodeGrant(&Grant{From: 3, To: 11, Round: 10, Piece: NoPiece}),
 		EncodePieceBcast(&PieceBcast{From: 7, Round: 4, URI: m.Record.URI, Index: 0,
 			Total: m.Record.NumPieces(), Data: data}),
+		EncodeSymbol(sampleSymbol()),
+		EncodeSymbolAck(sampleSymbolAck()),
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/fault"
+	"repro/internal/fec"
 	"repro/internal/metadata"
 	"repro/internal/rng"
 	"repro/internal/simtime"
@@ -32,6 +33,21 @@ func frames() [][]byte {
 	members := []trace.NodeID{3, 7, 11}
 	want := wire.NewGroupWant(rec.URI, rec.NumPieces(), true)
 	want.SetHave(0)
+	pieceData := metadata.SyntheticPiece(rec.URI, 1, rec.PieceLen(1))
+	enc, err := fec.NewEncoder(pieceData, 1024, 0xB10C)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sym := &wire.Symbol{
+		From: 7, Round: 13, URI: rec.URI, Piece: 1, Total: rec.NumPieces(),
+		Seed: 0xB10C, DataLen: len(pieceData),
+		Index: uint32(enc.K() + 2), Payload: enc.Symbol(uint32(enc.K() + 2)),
+	}
+	sym.Seal()
+	ack := &wire.SymbolAck{From: 11, Round: 13, URI: rec.URI, Total: rec.NumPieces()}
+	ack.Have = make([]byte, (ack.Total+7)/8)
+	ack.SetHave(0)
+	ack.SetHave(1)
 	return [][]byte{
 		wire.EncodeHello(&wire.Hello{
 			From:        7,
@@ -63,6 +79,8 @@ func frames() [][]byte {
 			From: 7, Round: 13, URI: rec.URI, Index: 1, Total: rec.NumPieces(),
 			Data: metadata.SyntheticPiece(rec.URI, 1, rec.PieceLen(1)),
 		}),
+		wire.EncodeSymbol(sym),
+		wire.EncodeSymbolAck(ack),
 	}
 }
 

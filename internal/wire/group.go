@@ -67,6 +67,10 @@ type GroupHello struct {
 	Members []trace.NodeID
 	Round   uint64
 	Wants   []GroupWant
+	// FEC advertises fountain-coded data-plane support: a group streams
+	// symbols only when *every* confirmed member's GroupHello sets it,
+	// and falls back to grant/resend piece broadcast otherwise.
+	FEC bool
 }
 
 // Schedule opens one broadcast round: the sequencer restates the member
@@ -223,6 +227,11 @@ func EncodeGroupHello(g *GroupHello) []byte {
 	encodeMembers(w, g.Members)
 	w.uint64(g.Round)
 	encodeWantList(w, g.Wants)
+	if g.FEC {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
 	return w.b
 }
 
@@ -246,6 +255,17 @@ func DecodeGroupHello(b []byte) (*GroupHello, error) {
 	}
 	if g.Wants, err = decodeWantList(r); err != nil {
 		return nil, err
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		g.FEC = true
+	default:
+		return nil, fmt.Errorf("fec flag %d: %w", flag, ErrBadType)
 	}
 	if len(r.b) != 0 {
 		return nil, ErrTrailing

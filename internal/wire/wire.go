@@ -10,7 +10,8 @@
 //     piggybacked metadata record (MBT-QM);
 //
 // plus the four broadcast-group messages of §V (group.go): group-hello,
-// schedule, grant, and piece-bcast.
+// schedule, grant, and piece-bcast, and the fountain-coded data plane's
+// symbol and symbol-ack (symbol.go).
 //
 // The format is a fixed header (magic, version, type) followed by
 // length-prefixed fields in big-endian order. Decoding is strict: junk,
@@ -44,6 +45,8 @@ const (
 	TypeSchedule
 	TypeGrant
 	TypePieceBcast
+	TypeSymbol
+	TypeSymbolAck
 )
 
 // String names the message type.
@@ -63,6 +66,10 @@ func (t MsgType) String() string {
 		return "grant"
 	case TypePieceBcast:
 		return "piece-bcast"
+	case TypeSymbol:
+		return "symbol"
+	case TypeSymbolAck:
+		return "symbol-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -287,7 +294,8 @@ func Peek(b []byte) (MsgType, error) {
 	t := MsgType(b[2])
 	switch t {
 	case TypeHello, TypeMetadata, TypePiece,
-		TypeGroupHello, TypeSchedule, TypeGrant, TypePieceBcast:
+		TypeGroupHello, TypeSchedule, TypeGrant, TypePieceBcast,
+		TypeSymbol, TypeSymbolAck:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("type %d: %w", b[2], ErrBadType)
@@ -556,6 +564,10 @@ func Encode(m Msg) []byte {
 		return EncodeGrant(m)
 	case *PieceBcast:
 		return EncodePieceBcast(m)
+	case *Symbol:
+		return EncodeSymbol(m)
+	case *SymbolAck:
+		return EncodeSymbolAck(m)
 	default:
 		panic(fmt.Sprintf("wire: Encode(%T)", m))
 	}
@@ -584,6 +596,10 @@ func Decode(b []byte) (Msg, error) {
 		m, err = DecodeGrant(b)
 	case TypePieceBcast:
 		m, err = DecodePieceBcast(b)
+	case TypeSymbol:
+		m, err = DecodeSymbol(b)
+	case TypeSymbolAck:
+		m, err = DecodeSymbolAck(b)
 	default:
 		m, err = DecodePiece(b)
 	}

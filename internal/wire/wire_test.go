@@ -254,7 +254,10 @@ func TestMsgTypeString(t *testing.T) {
 		TypePiece.String() != "piece" {
 		t.Fatal("type names wrong")
 	}
-	if got := MsgType(9).String(); got != "MsgType(9)" {
+	if TypeSymbol.String() != "symbol" || TypeSymbolAck.String() != "symbol-ack" {
+		t.Fatal("symbol type names wrong")
+	}
+	if got := MsgType(99).String(); got != "MsgType(99)" {
 		t.Fatalf("unknown type = %q", got)
 	}
 }
