@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short fec-soak fec-soak-short
+.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short fec-soak fec-soak-short dht-soak dht-soak-short
 
 check: vet test race
 
@@ -53,6 +53,22 @@ fec-soak:
 fec-soak-short:
 	$(GO) test -race -count=1 -run 'TestFECSoakFewerTransmissions|TestFECLossRepairedByTopUps' -v ./internal/daemon ./internal/bcast
 
+# DHT soak: the full Kademlia suite — k-bucket/store property tests and
+# lookup-convergence meshes in internal/dht, the daemon's server-death
+# resolution and dial-on-demand tests, the discovery<->DHT seam
+# (fallback without double counting), the swarm server-death scenario
+# against its no-DHT baseline, and the live three-daemon localhost demo
+# where the catalog server is killed mid-run. dht-soak-short is the
+# race-clean CI smoke: the engine suite plus the daemon and seam tests.
+dht-soak:
+	$(GO) test -race -count=1 -v ./internal/dht
+	$(GO) test -race -count=1 -timeout 10m -run 'DHT' -v ./internal/daemon ./internal/discovery ./internal/swarm ./cmd/mbtd
+	$(GO) test -race -count=1 -run 'TestFountainScenario' -v ./internal/swarm
+
+dht-soak-short:
+	$(GO) test -race -count=1 ./internal/dht
+	$(GO) test -race -count=1 -run 'TestDHT' -v ./internal/daemon ./internal/discovery
+
 # Crash-recovery soak: the store-level crash-point matrix (every
 # mutating filesystem op) plus the daemon-level scripted kill-and-
 # restart matrix — at each point the node must reopen its data dir to a
@@ -80,16 +96,22 @@ swarm-short:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x .
 
-# Benchmark baseline: the hot-path benches (wire codec, beacon fan-out,
-# WAL append/replay, clique enumeration) plus the sweep pool, rendered
-# to JSON for committing and diffing across commits.
+# Benchmark history: the hot-path benches (wire codec, beacon fan-out,
+# peer-table contention, DHT k-buckets and lookups, WAL append/replay,
+# clique enumeration) plus the sweep pool, rendered to JSON. Each run
+# APPENDS a record stamped with the git SHA and UTC date to
+# results/BENCH_swarm.json, so the file accumulates a per-commit
+# history for diffing (see cmd/benchjson for the format).
 bench-json:
 	{ $(GO) test -run '^$$' -bench . -benchtime 0.5s \
-		./internal/wire ./internal/peer ./internal/store ./internal/clique ./internal/fec ; \
+		./internal/wire ./internal/peer ./internal/store ./internal/clique ./internal/fec ./internal/dht ; \
 	  $(GO) test -run '^$$' -bench BenchmarkFECSoak -benchtime 1x ./internal/daemon ; \
 	  $(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x . ; } \
-	| $(GO) run ./cmd/benchjson -label swarm-baseline > results/BENCH_swarm.json
-	@echo wrote results/BENCH_swarm.json
+	| $(GO) run ./cmd/benchjson -label swarm-baseline \
+		-commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-out results/BENCH_swarm.json
+	@echo appended to results/BENCH_swarm.json
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s ./internal/experiment

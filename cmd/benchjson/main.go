@@ -6,6 +6,14 @@
 //
 //	go test -run '^$' -bench . ./internal/wire/ | benchjson > BENCH.json
 //	benchjson -label swarm-baseline < bench.txt
+//	benchjson -label swarm-baseline -commit "$(git rev-parse --short HEAD)" \
+//	    -date "$(date -u +%FT%TZ)" -out results/BENCH_swarm.json
+//
+// Without -out the record prints to stdout. With -out the record is
+// APPENDED to the named file, which holds a JSON array of records — one
+// per run — so the file accumulates a per-commit history instead of
+// being overwritten. A legacy file holding a single top-level record
+// object is upgraded to a one-element array before appending.
 //
 // Non-benchmark lines (PASS, ok, compile noise) pass through to the
 // context fields or are dropped, so piping a whole multi-package run in
@@ -36,9 +44,12 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Record is the whole run.
+// Record is the whole run. Commit and Date identify which tree produced
+// the numbers when records accumulate in an -out history file.
 type Record struct {
 	Label   string   `json:"label,omitempty"`
+	Commit  string   `json:"commit,omitempty"`
+	Date    string   `json:"date,omitempty"`
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
@@ -55,6 +66,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	label := fs.String("label", "", "label stored in the output record")
+	commit := fs.String("commit", "", "git SHA stored in the output record")
+	date := fs.String("date", "", "timestamp stored in the output record")
+	out := fs.String("out", "", "append the record to this JSON history file instead of printing it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,8 +78,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	rec.Label = *label
+	rec.Commit = *commit
+	rec.Date = *date
 	if len(rec.Results) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if *out != "" {
+		return appendRecord(*out, rec)
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -73,6 +92,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = fmt.Fprintln(stdout, string(data))
 	return err
+}
+
+// appendRecord adds rec to the history array in path. A missing or
+// empty file starts a fresh array; a legacy file holding one bare
+// record object becomes a one-element array first, so old baselines
+// keep their place at index zero.
+func appendRecord(path string, rec Record) error {
+	var history []Record
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(strings.TrimSpace(string(data))) > 0:
+		if jerr := json.Unmarshal(data, &history); jerr != nil {
+			var legacy Record
+			if lerr := json.Unmarshal(data, &legacy); lerr != nil {
+				return fmt.Errorf("%s is neither a record array nor a legacy record: %v", path, jerr)
+			}
+			history = []Record{legacy}
+		}
+	case err != nil && !os.IsNotExist(err):
+		return err
+	}
+	history = append(history, rec)
+	data, err = json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parse(r io.Reader) (Record, error) {

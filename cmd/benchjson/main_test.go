@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,5 +64,69 @@ func TestRunEmitsJSON(t *testing.T) {
 func TestRunRejectsEmptyInput(t *testing.T) {
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+func TestOutAppendsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	for i, sha := range []string{"aaa111", "bbb222"} {
+		err := run([]string{"-label", "run", "-commit", sha, "-date", "2026-08-08T00:00:00Z", "-out", path},
+			strings.NewReader(sample), io.Discard)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []Record
+	if err := json.Unmarshal(data, &history); err != nil {
+		t.Fatalf("history is not a record array: %v\n%s", err, data)
+	}
+	if len(history) != 2 {
+		t.Fatalf("got %d records, want 2", len(history))
+	}
+	if history[0].Commit != "aaa111" || history[1].Commit != "bbb222" {
+		t.Fatalf("commits out of order: %q, %q", history[0].Commit, history[1].Commit)
+	}
+	if history[1].Date == "" || len(history[1].Results) != 3 {
+		t.Fatalf("appended record incomplete: %+v", history[1])
+	}
+}
+
+func TestOutUpgradesLegacySingleRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	legacy := Record{Label: "old-baseline", Results: []Result{{Name: "BenchmarkOld", Iterations: 1}}}
+	data, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-commit", "ccc333", "-out", path}, strings.NewReader(sample), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []Record
+	if err := json.Unmarshal(raw, &history); err != nil {
+		t.Fatalf("upgraded file is not an array: %v\n%s", err, raw)
+	}
+	if len(history) != 2 || history[0].Label != "old-baseline" || history[1].Commit != "ccc333" {
+		t.Fatalf("legacy record lost in upgrade: %+v", history)
+	}
+}
+
+func TestOutRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", path}, strings.NewReader(sample), io.Discard); err == nil {
+		t.Fatal("garbage history file accepted")
 	}
 }

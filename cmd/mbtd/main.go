@@ -38,6 +38,14 @@
 // number of symbols to members the sender can't reach. A single
 // non--fec member pins the group to the plain piece plane, so mixed
 // fleets keep working. Symbol counters appear under "bcast" in /stats.
+//
+// With -dht every daemon joins a Kademlia-style metadata index layered
+// under the gossip: Internet nodes republish their catalog into the
+// index, and any node resolves open queries from it — local cache
+// first, iterative lookup second — so keyword search keeps working
+// after the catalog server dies. -dht-k sets the replication factor
+// and -dht-republish the maintenance cadence. Counters appear under
+// "dht" in /stats.
 package main
 
 import (
@@ -91,6 +99,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		fecOn    = fs.Bool("fec", false, "with -bcast, stream granted pieces as fountain-coded symbols over a UDP lane on -listen's port; active only when every group member runs -fec too")
 		symbolSz = fs.Int("symbol-size", 0, "with -fec, coded-symbol payload bytes (0 = engine default)")
 		symPeers = fs.String("symbol-peers", "", "with -fec, UDP addresses the symbol lane fans out to (default: the -peers list)")
+		dhtOn    = fs.Bool("dht", false, "join the Kademlia metadata index: publish the catalog into it (with -internet) and resolve queries from it when the server path is gone")
+		dhtK     = fs.Int("dht-k", 0, "with -dht, k-bucket size and replication factor (0 = engine default)")
+		dhtRepub = fs.Duration("dht-republish", 0, "with -dht, table-refresh and catalog-republish cadence (0 = 10x -hello)")
 		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
 		dataDir  = fs.String("data-dir", "", "persist node state here (WAL + snapshots); restart resumes from it")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
@@ -117,6 +128,18 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if *fecOn && *listen == "" {
 		return fail("-fec binds its UDP symbol lane to -listen's address; set -listen")
+	}
+	if *dhtK != 0 && !*dhtOn {
+		return fail("-dht-k tunes the Kademlia index; it needs -dht")
+	}
+	if *dhtK < 0 {
+		return fail("-dht-k must be positive, have %d", *dhtK)
+	}
+	if *dhtRepub != 0 && !*dhtOn {
+		return fail("-dht-republish tunes the Kademlia index; it needs -dht")
+	}
+	if *dhtRepub < 0 {
+		return fail("-dht-republish must be positive, have %v", *dhtRepub)
 	}
 	if *dataDir != "" {
 		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
@@ -186,6 +209,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		EnableFEC:      *fecOn,
 		Symbols:        symbols,
 		SymbolSize:     *symbolSz,
+		EnableDHT:      *dhtOn,
+		DHTK:           *dhtK,
+		DHTRepublish:   *dhtRepub,
 		Fault:          chaos,
 		DataDir:        *dataDir,
 		Logf:           logf,

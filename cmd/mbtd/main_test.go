@@ -52,6 +52,10 @@ func TestBadFlagCombos(t *testing.T) {
 		{"data-dir under a file", []string{"-id", "1", "-listen", "127.0.0.1:0", "-data-dir", filepath.Join(file, "sub")}, "-data-dir"},
 		{"fec without bcast", []string{"-id", "1", "-listen", "127.0.0.1:0", "-fec"}, "-bcast"},
 		{"fec without listen", []string{"-id", "1", "-peers", "127.0.0.1:1", "-bcast", "-fec"}, "-listen"},
+		{"dht-k without dht", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht-k", "8"}, "-dht"},
+		{"negative dht-k", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht", "-dht-k", "-2"}, "-dht-k"},
+		{"dht-republish without dht", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht-republish", "5s"}, "-dht"},
+		{"negative dht-republish", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht", "-dht-republish", "-5s"}, "-dht-republish"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bcast"
 	"repro/internal/credit"
+	"repro/internal/dht"
 	"repro/internal/fault"
 	"repro/internal/hello"
 	"repro/internal/metadata"
@@ -179,6 +180,23 @@ type Config struct {
 	// RelayBudget bounds per-tick cooperative symbol relays (default
 	// bcast.DefaultRelayBudget).
 	RelayBudget int
+	// EnableDHT runs the decentralized metadata index: a Kademlia-style
+	// keyword→metadata DHT (internal/dht) layered over the existing peer
+	// sessions. Internet nodes republish their catalog into it; every
+	// node resolves open queries DHT-first (local cache, then iterative
+	// FindValue) with the hello beacon as the legacy fallback, so keyword
+	// queries keep resolving after the central catalog dies.
+	EnableDHT bool
+	// DHTK and DHTAlpha override the lookup width and parallelism
+	// (defaults dht.DefaultK / dht.DefaultAlpha).
+	DHTK     int
+	DHTAlpha int
+	// DHTRepublish paces the DHT tick — table refresh, catalog
+	// republish, query resolution (default 10× HelloInterval).
+	DHTRepublish time.Duration
+	// DHTCacheCap bounds the popularity-ranked local record cache
+	// (default dht.DefaultCacheCap).
+	DHTCacheCap int
 	// Fault, when the transport is wrapped in a fault injector, surfaces
 	// its counters under /stats.
 	Fault *fault.Transport
@@ -243,6 +261,8 @@ type Stats struct {
 	// Store is the durable store's counters, including what recovery
 	// replayed (with Config.DataDir).
 	Store *store.Stats `json:"store,omitempty"`
+	// DHT is the decentralized index's counters (with Config.EnableDHT).
+	DHT *dht.Stats `json:"dht,omitempty"`
 	// PiecesRefetched counts verified pieces received over the wire that
 	// the restored state already held. The crash-recovery invariant is
 	// that this stays zero: persisted pieces are advertised in the hello
@@ -289,8 +309,17 @@ type Daemon struct {
 	catalog *server.Safe  // nil unless InternetAccess
 	bcast   *bcast.Engine // nil unless EnableBcast
 	store   *store.Store  // nil unless DataDir
+	dht     *dht.Engine   // nil unless EnableDHT
 	epoch   time.Time
 	outbox  chan outMsg
+
+	// DHT plumbing: the engine's RPC deadline, the run context its sends
+	// inherit, and the in-flight dial-on-demand set.
+	dhtTimeout time.Duration
+	dhtWG      sync.WaitGroup
+	dialMu     sync.Mutex
+	dhtCtx     context.Context
+	dialing    map[string]bool
 
 	listenMu sync.Mutex
 	listener transport.Listener
@@ -366,6 +395,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.RoundInterval <= 0 {
 		cfg.RoundInterval = cfg.HelloInterval
 	}
+	if cfg.DHTRepublish <= 0 {
+		cfg.DHTRepublish = 10 * cfg.HelloInterval
+	}
 
 	d := &Daemon{
 		cfg:       cfg,
@@ -404,6 +436,26 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	for _, q := range cfg.Queries {
 		d.node.AddQuery(q, d.now().Add(cfg.TTL))
+	}
+	if cfg.EnableDHT {
+		// The RPC deadline tracks the liveness window so a dial-on-demand
+		// (dial + hello handshake) fits inside one request's patience.
+		d.dhtTimeout = cfg.LivenessWindow / 2
+		if d.dhtTimeout < dht.DefaultRequestTimeout {
+			d.dhtTimeout = dht.DefaultRequestTimeout
+		}
+		d.dialing = make(map[string]bool)
+		d.dht = dht.New(dht.Config{
+			Self:           cfg.ID,
+			Addr:           cfg.ListenAddr,
+			K:              cfg.DHTK,
+			Alpha:          cfg.DHTAlpha,
+			RequestTimeout: d.dhtTimeout,
+			CacheCap:       cfg.DHTCacheCap,
+			Send:           d.dhtSend,
+			Verify:         d.dhtVerify,
+			Logf:           cfg.Logf,
+		})
 	}
 	if cfg.EnableBcast {
 		d.bcast = bcast.New(bcast.Config{
@@ -560,6 +612,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
+	if d.dht != nil {
+		d.dialMu.Lock()
+		d.dhtCtx = ctx
+		d.dialMu.Unlock()
+	}
 
 	if d.cfg.ListenAddr != "" {
 		lis, err := d.cfg.Transport.Listen(d.cfg.ListenAddr)
@@ -570,6 +627,10 @@ func (d *Daemon) Run(ctx context.Context) error {
 		d.listener = lis
 		d.listenMu.Unlock()
 		defer lis.Close()
+		if d.dht != nil {
+			// Advertise the bound address (ListenAddr may have been ":0").
+			d.dht.SetAddr(lis.Addr())
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -599,6 +660,13 @@ func (d *Daemon) Run(ctx context.Context) error {
 		defer wg.Done()
 		d.sweepLoop(ctx)
 	}()
+	if d.dht != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.dhtLoop(ctx)
+		}()
+	}
 	if d.bcast != nil {
 		wg.Add(1)
 		go func() {
@@ -625,6 +693,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	cancel()
 	d.mgr.Close()
 	wg.Wait()
+	d.dhtWG.Wait()
 	if d.store != nil {
 		// Graceful shutdown flush: fold the WAL into a snapshot so the
 		// next start replays one compact image instead of a long log.
@@ -874,6 +943,10 @@ func (d *Daemon) Stats() Stats {
 		ss := d.store.Stats()
 		st.Store = &ss
 	}
+	if d.dht != nil {
+		ds := d.dht.Stats()
+		st.DHT = &ds
+	}
 	return st
 }
 
@@ -925,6 +998,12 @@ func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
 	// vouches it can receive each listed node.
 	if d.bcast != nil {
 		d.bcast.Observe(from, msg.Heard)
+	}
+	// Every live peer is a DHT contact. Its dialable address is learned
+	// later from its own DHT frames; an empty one routes over the
+	// session we already share.
+	if d.dht != nil {
+		d.dht.Observe(from, "")
 	}
 
 	var out []wire.Msg
@@ -1126,6 +1205,11 @@ func (d *Daemon) onMetadata(from trace.NodeID, m *wire.Metadata) {
 		}
 	}
 	d.mu.Unlock()
+	if added && d.dht != nil {
+		// Fold the verified record into the DHT cache: a DTN-side node
+		// answers FindValue from gossip-learned state, no Internet path.
+		d.dhtCacheRecord(&wire.Metadata{Popularity: m.Popularity, Record: *rec.Clone()})
+	}
 	if added {
 		d.logf("daemon %d: stored metadata %s (pop %.3f) from node %d, selected=%v",
 			d.cfg.ID, rec.URI, m.Popularity, from, selected)

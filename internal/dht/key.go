@@ -1,0 +1,80 @@
+// Package dht implements a Kademlia-style keyword→metadata index run by
+// the nodes themselves, the decentralized replacement for the paper's
+// single Internet-side metadata server. Node IDs and keywords hash into
+// one 256-bit key space; each node keeps an XOR-metric routing table of
+// k-buckets (table.go) and a bounded, popularity-ranked record cache
+// (store.go), and resolves queries with iterative α-parallel
+// FindNode/FindValue lookups (engine.go). Because looked-up records stay
+// in the local cache, DTN-side nodes that carried DHT state out of
+// Internet range keep answering queries during contacts with no Internet
+// path at all — the cooperative-caching behaviour the paper's ranking
+// work motivates.
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// KeySize is the key length in bytes; the key space is 256-bit.
+const KeySize = sha256.Size
+
+// Key is a point in the DHT's XOR-metric key space: the sha256 of a node
+// ID or of a normalized keyword.
+type Key [KeySize]byte
+
+// NodeKey maps a node ID into the key space. The "node:" prefix domain-
+// separates node keys from keyword keys so a hostile keyword cannot
+// collide with a node's position.
+func NodeKey(id trace.NodeID) Key {
+	var b [12]byte
+	copy(b[:4], "node")
+	binary.BigEndian.PutUint64(b[4:], uint64(int64(id)))
+	return sha256.Sum256(b[:])
+}
+
+// KeywordKey maps a keyword into the key space. Keywords are normalized
+// to lower case so "Jazz" and "jazz" index the same records; callers
+// tokenize multi-word titles (internal/search.Tokenize) and publish each
+// token separately.
+func KeywordKey(word string) Key {
+	return sha256.Sum256([]byte("kw:" + strings.ToLower(word)))
+}
+
+// Distance is the XOR metric between two keys.
+func (k Key) Distance(o Key) Key {
+	var d Key
+	for i := range k {
+		d[i] = k[i] ^ o[i]
+	}
+	return d
+}
+
+// BucketIndex returns the k-bucket index for a contact at distance d from
+// self: the position of the highest set bit of the XOR distance, with 255
+// meaning the first bit differs and 0 the last. Equal keys (distance
+// zero) return -1 — a node never stores itself.
+func (k Key) BucketIndex(o Key) int {
+	for i := range k {
+		if x := k[i] ^ o[i]; x != 0 {
+			return (KeySize-1-i)*8 + bits.Len8(x) - 1
+		}
+	}
+	return -1
+}
+
+// Closer reports whether a is strictly closer to k than b under the XOR
+// metric.
+func (k Key) Closer(a, b Key) bool {
+	for i := range k {
+		da, db := a[i]^k[i], b[i]^k[i]
+		if da != db {
+			return da < db
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+// The routing table: 256 k-buckets of contacts ordered least-recently-
+// seen first. Bucket i holds contacts whose XOR distance from self has
+// its highest set bit at position i, so each bucket covers a halving of
+// the key space and the table as a whole knows many nearby nodes but
+// only a logarithmic sample of far ones — the structure that makes
+// iterative lookups converge in O(log n) hops.
+package dht
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Contact is one routing-table entry: a node and the address its peer
+// listener can be dialed at.
+type Contact struct {
+	ID   trace.NodeID
+	Addr string
+}
+
+// Table is the XOR-metric routing table. Not safe for concurrent use;
+// the Engine serializes access.
+type Table struct {
+	self    Key
+	selfID  trace.NodeID
+	k       int
+	buckets [KeySize * 8][]tableEntry
+	keys    map[trace.NodeID]Key // memoized NodeKey per contact
+	count   int
+}
+
+type tableEntry struct {
+	c   Contact
+	key Key
+}
+
+// NewTable returns a routing table for the given node with k-buckets of
+// capacity k.
+func NewTable(self trace.NodeID, k int) *Table {
+	if k <= 0 {
+		k = 16
+	}
+	return &Table{
+		self:   NodeKey(self),
+		selfID: self,
+		k:      k,
+		keys:   make(map[trace.NodeID]Key),
+	}
+}
+
+// Len returns the number of stored contacts.
+func (t *Table) Len() int { return t.count }
+
+// nodeKey memoizes NodeKey: lookups hash every candidate repeatedly and
+// sha256 per comparison would dominate.
+func (t *Table) nodeKey(id trace.NodeID) Key {
+	if k, ok := t.keys[id]; ok {
+		return k
+	}
+	k := NodeKey(id)
+	t.keys[id] = k
+	return k
+}
+
+// Observe records that a contact was seen live. A known contact is
+// refreshed (moved to the most-recently-seen end, address updated); a new
+// contact joins its bucket, evicting the least-recently-seen entry if the
+// bucket is full. Returns true if the contact is in the table afterwards.
+// Self is never stored.
+func (t *Table) Observe(c Contact) bool {
+	if c.ID == t.selfID {
+		return false
+	}
+	key := t.nodeKey(c.ID)
+	bi := t.self.BucketIndex(key)
+	if bi < 0 {
+		return false
+	}
+	b := t.buckets[bi]
+	for i := range b {
+		if b[i].c.ID == c.ID {
+			e := b[i]
+			if c.Addr != "" {
+				e.c.Addr = c.Addr
+			}
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = e
+			return true
+		}
+	}
+	e := tableEntry{c: c, key: key}
+	if len(b) < t.k {
+		t.buckets[bi] = append(b, e)
+		t.count++
+		return true
+	}
+	// Bucket full: drop the least-recently-seen head. (Classic Kademlia
+	// pings the head first; over always-fresh loopback sessions the peer
+	// manager's liveness window already plays that role, so eviction is
+	// immediate.)
+	copy(b, b[1:])
+	b[len(b)-1] = e
+	return true
+}
+
+// Remove drops a contact (a node observed dead mid-lookup).
+func (t *Table) Remove(id trace.NodeID) {
+	key := t.nodeKey(id)
+	bi := t.self.BucketIndex(key)
+	if bi < 0 {
+		return
+	}
+	b := t.buckets[bi]
+	for i := range b {
+		if b[i].c.ID == id {
+			t.buckets[bi] = append(b[:i], b[i+1:]...)
+			t.count--
+			return
+		}
+	}
+}
+
+// Closest returns up to n contacts ordered by ascending XOR distance to
+// target, ties broken by node ID for determinism.
+func (t *Table) Closest(target Key, n int) []Contact {
+	type cand struct {
+		c Contact
+		d Key
+	}
+	cands := make([]cand, 0, t.count)
+	for bi := range t.buckets {
+		for i := range t.buckets[bi] {
+			e := &t.buckets[bi][i]
+			cands = append(cands, cand{c: e.c, d: target.Distance(e.key)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		for b := 0; b < KeySize; b++ {
+			if cands[i].d[b] != cands[j].d[b] {
+				return cands[i].d[b] < cands[j].d[b]
+			}
+		}
+		return cands[i].c.ID < cands[j].c.ID
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]Contact, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].c
+	}
+	return out
+}
+
+// Contacts returns every stored contact in bucket order, least-recently-
+// seen first within a bucket.
+func (t *Table) Contacts() []Contact {
+	out := make([]Contact, 0, t.count)
+	for bi := range t.buckets {
+		for i := range t.buckets[bi] {
+			out = append(out, t.buckets[bi][i].c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func contact(id int) Contact {
+	return Contact{ID: trace.NodeID(id), Addr: fmt.Sprintf("n%d", id)}
+}
+
+func TestKeyDomainSeparation(t *testing.T) {
+	if NodeKey(3) == KeywordKey("3") {
+		t.Fatal("node and keyword keys collide")
+	}
+	if KeywordKey("Jazz") != KeywordKey("jazz") {
+		t.Fatal("keyword keys are case-sensitive")
+	}
+	if NodeKey(3) == NodeKey(4) {
+		t.Fatal("distinct nodes share a key")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	k := NodeKey(1)
+	if got := k.BucketIndex(k); got != -1 {
+		t.Fatalf("self distance bucket = %d, want -1", got)
+	}
+	var zero, one Key
+	one[KeySize-1] = 1
+	if got := zero.BucketIndex(one); got != 0 {
+		t.Fatalf("distance-1 bucket = %d, want 0", got)
+	}
+	var top Key
+	top[0] = 0x80
+	if got := zero.BucketIndex(top); got != 255 {
+		t.Fatalf("top-bit bucket = %d, want 255", got)
+	}
+}
+
+// bruteClosest sorts the given IDs by XOR distance to target — the
+// specification Closest must match.
+func bruteClosest(target Key, ids []trace.NodeID, n int) []trace.NodeID {
+	sorted := append([]trace.NodeID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := NodeKey(sorted[i]), NodeKey(sorted[j])
+		if a != b && target.Closer(a, b) {
+			return true
+		}
+		if a != b && target.Closer(b, a) {
+			return false
+		}
+		return sorted[i] < sorted[j]
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// TestClosestMatchesBruteForce: for random contact sets and random
+// targets, Table.Closest agrees with a brute-force sort of everything in
+// the table — the closest-K invariant lookups depend on.
+func TestClosestMatchesBruteForce(t *testing.T) {
+	r := rng.New(0xDA7)
+	for trial := 0; trial < 20; trial++ {
+		tab := NewTable(0, 8)
+		var inTable []trace.NodeID
+		for i := 0; i < 200; i++ {
+			id := 1 + r.Intn(5000)
+			tab.Observe(contact(id))
+		}
+		for _, c := range tab.Contacts() {
+			inTable = append(inTable, c.ID)
+		}
+		for q := 0; q < 10; q++ {
+			target := KeywordKey(fmt.Sprintf("query-%d-%d", trial, q))
+			for _, n := range []int{1, 3, 8, 20} {
+				got := tab.Closest(target, n)
+				want := bruteClosest(target, inTable, n)
+				if len(got) != len(want) {
+					t.Fatalf("Closest(%d) returned %d contacts, want %d", n, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i] {
+						t.Fatalf("Closest(%d)[%d] = n%d, want n%d", n, i, got[i].ID, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBucketLRUEviction: a full bucket evicts its least-recently-seen
+// entry, and refreshing an entry saves it from eviction.
+func TestBucketLRUEviction(t *testing.T) {
+	self := trace.NodeID(0)
+	selfKey := NodeKey(self)
+	// Collect IDs that land in the same bucket relative to self.
+	byBucket := map[int][]int{}
+	var bucket, need int
+	for id := 1; id < 100000; id++ {
+		bi := selfKey.BucketIndex(NodeKey(trace.NodeID(id)))
+		byBucket[bi] = append(byBucket[bi], id)
+		if len(byBucket[bi]) >= 5 {
+			bucket, need = bi, 5
+			break
+		}
+	}
+	if need == 0 {
+		t.Fatal("no bucket collected 5 ids")
+	}
+	ids := byBucket[bucket]
+	k := 3
+	tab := NewTable(self, k)
+	for _, id := range ids[:k] {
+		tab.Observe(contact(id)) // bucket now full: ids[0] is LRS
+	}
+	// Refresh ids[0]; ids[1] becomes least-recently-seen.
+	tab.Observe(contact(ids[0]))
+	tab.Observe(contact(ids[3]))
+	has := func(id int) bool {
+		for _, c := range tab.Contacts() {
+			if c.ID == trace.NodeID(id) {
+				return true
+			}
+		}
+		return false
+	}
+	if has(ids[1]) {
+		t.Fatal("least-recently-seen entry survived a full-bucket insert")
+	}
+	if !has(ids[0]) {
+		t.Fatal("refreshed entry was evicted")
+	}
+	if !has(ids[3]) {
+		t.Fatal("new entry missing after insert")
+	}
+	if tab.Len() != k {
+		t.Fatalf("table length %d, want %d", tab.Len(), k)
+	}
+	// One more insert evicts ids[2], the next LRS.
+	tab.Observe(contact(ids[4]))
+	if has(ids[2]) {
+		t.Fatal("second eviction skipped the least-recently-seen entry")
+	}
+	if !has(ids[0]) || !has(ids[3]) || !has(ids[4]) {
+		t.Fatal("wrong entries evicted")
+	}
+}
+
+func TestObserveRefreshesAddr(t *testing.T) {
+	tab := NewTable(0, 4)
+	tab.Observe(Contact{ID: 7, Addr: "old"})
+	tab.Observe(Contact{ID: 7, Addr: "new"})
+	cs := tab.Contacts()
+	if len(cs) != 1 || cs[0].Addr != "new" {
+		t.Fatalf("contacts = %+v, want one entry with refreshed addr", cs)
+	}
+	// An empty addr must not erase a known one.
+	tab.Observe(Contact{ID: 7})
+	if cs = tab.Contacts(); cs[0].Addr != "new" {
+		t.Fatalf("empty addr erased known addr: %+v", cs)
+	}
+}
+
+func TestTableNeverStoresSelf(t *testing.T) {
+	tab := NewTable(7, 4)
+	if tab.Observe(contact(7)) {
+		t.Fatal("table accepted self")
+	}
+	if tab.Len() != 0 {
+		t.Fatal("self was stored")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tab := NewTable(0, 8)
+	for i := 1; i <= 10; i++ {
+		tab.Observe(contact(i))
+	}
+	n := tab.Len()
+	tab.Remove(5)
+	if tab.Len() != n-1 {
+		t.Fatalf("length %d after remove, want %d", tab.Len(), n-1)
+	}
+	for _, c := range tab.Contacts() {
+		if c.ID == 5 {
+			t.Fatal("removed contact still present")
+		}
+	}
+	tab.Remove(5) // removing absent contact is a no-op
+	if tab.Len() != n-1 {
+		t.Fatal("double remove changed length")
+	}
+}

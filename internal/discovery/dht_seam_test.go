@@ -1,0 +1,124 @@
+package discovery
+
+// Seam tests between the gossip exchange and the DHT metadata cache.
+// The runtime layers them as: resolve a query from the local DHT cache
+// when possible, fall back to the legacy gossip/server exchange when
+// not, and fold whatever either path yields into the same per-node
+// store. Two invariants make that composition sound, and both live in
+// this file:
+//
+//  1. A record already resolved via the DHT is never re-counted when
+//     the gossip exchange meets it again — AddMetadata is
+//     first-write-wins, so the broadcast produces no NewReceivers and
+//     no transmission event.
+//  2. A query the DHT cache cannot answer still resolves over the
+//     legacy exchange, with exactly one counted transmission.
+
+import (
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/node"
+	"repro/internal/search"
+	"repro/internal/wire"
+)
+
+// dhtResolve plays the runtime's DHT-first query step for one node:
+// look each query keyword up in the node's local DHT cache and fold any
+// hits into its store, exactly as the daemon's resolveQueries →
+// onMetadata path does. Returns how many records were newly stored.
+func dhtResolve(n *node.Node, eng *dht.Engine) int {
+	added := 0
+	for _, q := range n.Queries(0) {
+		for _, tok := range search.Tokenize(q) {
+			for _, v := range eng.CachedValues(tok) {
+				if n.AddMetadata(&v.Meta.Record, v.Meta.Popularity, 0) {
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// TestDHTHitSkipsGossipWithoutDoubleCount: the querier resolves from
+// its DHT cache first; the later gossip exchange must not broadcast the
+// same record to it again, so the contact spends its budget elsewhere
+// and the traffic count stays at zero for the already-resolved record.
+func TestDHTHitSkipsGossipWithoutDoubleCount(t *testing.T) {
+	holder := node.New(0, false)
+	querier := node.New(1, false)
+	m := makeMeta(1, "jazz night")
+	holder.AddMetadata(m, 0.5, 0)
+	querier.AddQuery("jazz", expiry())
+
+	// The querier's DHT cache already holds the record (learned over a
+	// FindValue or a StoreValue push while some Internet node lived).
+	eng := dht.New(dht.Config{Self: querier.ID})
+	for _, tok := range search.Tokenize(m.Name) {
+		eng.StoreLocal(tok, wire.Metadata{Popularity: 0.5, Record: *m}, 0)
+	}
+
+	if got := dhtResolve(querier, eng); got != 1 {
+		t.Fatalf("DHT resolve stored %d records, want 1", got)
+	}
+	if !querier.HasMetadata(m.URI) {
+		t.Fatal("querier did not store the DHT-resolved record")
+	}
+
+	// The gossip exchange runs as usual — but the record is already
+	// everywhere, so no broadcast happens: no event, no transmission,
+	// no second count of the same record.
+	events := Exchange(0, []*node.Node{holder, querier}, Config{Budget: 5})
+	if len(events) != 0 {
+		t.Fatalf("gossip re-broadcast a DHT-resolved record: %+v", events)
+	}
+
+	// And resolving again from the cache is likewise idempotent.
+	if got := dhtResolve(querier, eng); got != 0 {
+		t.Fatalf("second DHT resolve stored %d records, want 0", got)
+	}
+}
+
+// TestDHTMissFallsBackToGossip: with an empty DHT cache the query
+// resolves over the legacy exchange, exactly once, and the delivery is
+// attributed to the gossip sender — the fallback path neither loses the
+// query nor inflates the transmission count.
+func TestDHTMissFallsBackToGossip(t *testing.T) {
+	holder := node.New(0, false)
+	querier := node.New(1, false)
+	m := makeMeta(1, "jazz night")
+	holder.AddMetadata(m, 0.5, 0)
+	querier.AddQuery("jazz", expiry())
+
+	eng := dht.New(dht.Config{Self: querier.ID}) // nothing cached
+
+	if got := dhtResolve(querier, eng); got != 0 {
+		t.Fatalf("empty DHT cache resolved %d records", got)
+	}
+
+	events := Exchange(0, []*node.Node{holder, querier}, Config{Budget: 5})
+	if len(events) != 1 {
+		t.Fatalf("fallback exchange events = %d, want exactly 1", len(events))
+	}
+	ev := events[0]
+	if ev.Sender != holder.ID || len(ev.NewReceivers) != 1 || ev.NewReceivers[0] != querier.ID {
+		t.Fatalf("fallback event = %+v", ev)
+	}
+	if len(ev.MatchedOwn) != 1 {
+		t.Fatalf("fallback delivery not counted as matched-own: %+v", ev)
+	}
+	if !querier.HasMetadata(m.URI) {
+		t.Fatal("querier did not store the record via fallback")
+	}
+
+	// A later DHT round that now caches the record (e.g. the node folds
+	// gossip-learned records into its DHT store) stays a no-op for the
+	// local store: still exactly one copy, no double count.
+	for _, tok := range search.Tokenize(m.Name) {
+		eng.StoreLocal(tok, wire.Metadata{Popularity: 0.5, Record: *m}, 0)
+	}
+	if got := dhtResolve(querier, eng); got != 0 {
+		t.Fatalf("post-fallback DHT resolve stored %d extra records", got)
+	}
+}

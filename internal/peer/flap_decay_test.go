@@ -26,9 +26,10 @@ func TestFlapDecaySteps(t *testing.T) {
 	flapPeer(t, m, 2, 3)
 
 	flapCount := func() int {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		fi := m.flaps[2]
+		sh := m.shardFor(2)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		fi := sh.flaps[2]
 		if fi == nil {
 			return 0
 		}
@@ -63,9 +64,10 @@ func TestFlapDecaySteps(t *testing.T) {
 	// after it drains nothing. The injected flap stamps wall time, so
 	// pin it to the synthetic clock first.
 	flapPeer(t, m, 2, 1)
-	m.mu.Lock()
-	m.flaps[2].last = now
-	m.mu.Unlock()
+	sh := m.shardFor(2)
+	sh.mu.Lock()
+	sh.flaps[2].last = now
+	sh.mu.Unlock()
 	m.expire(now.Add(quiet / 2))
 	if got := flapCount(); got != 3 {
 		t.Fatalf("flap count = %d after flap mid-decay, want 3", got)
@@ -79,9 +81,9 @@ func TestFlapDecaySteps(t *testing.T) {
 	if got := flapCount(); got != 0 {
 		t.Fatalf("flap count = %d after full decay, want 0 (and entry deleted)", got)
 	}
-	m.mu.Lock()
-	_, survived := m.flaps[2]
-	m.mu.Unlock()
+	sh.mu.Lock()
+	_, survived := sh.flaps[2]
+	sh.mu.Unlock()
 	if survived {
 		t.Fatal("flap entry survived full decay")
 	}

@@ -8,6 +8,14 @@
 // Serve, outbound links are maintained by Connect, which redials with
 // exponential backoff when a link drops.
 //
+// The peer table is hash-sharded: peers spread across Config.Shards
+// independent buckets, each with its own lock, so hot paths touching
+// different peers (a send racing a deliver racing an accept) never
+// contend on one global mutex. Aggregate views (Peers, Table, Stats)
+// stitch the shards together; the MaxPeers cap stays exact through one
+// shared atomic count. Activity counters are plain atomics and take no
+// lock at all.
+//
 // Ownership rules: the Manager owns its Conns — callers never touch a
 // Conn directly. Each session has exactly one receive goroutine; sends
 // go through the Conn's internal queue, so handler callbacks may call
@@ -44,6 +52,10 @@ const (
 	// DefaultHandshakeTimeout bounds the wait for the first hello on a
 	// new connection.
 	DefaultHandshakeTimeout = 5 * time.Second
+	// DefaultShards is the peer-table shard count when Config.Shards is
+	// zero. Sixteen keeps per-shard occupancy low even at swarm scale
+	// while costing only a few empty maps on small nodes.
+	DefaultShards = 16
 )
 
 // Handler receives decoded messages from live peers. From identifies
@@ -63,6 +75,14 @@ type Handler interface {
 // drops them, so group-aware and group-oblivious daemons interoperate.
 type GroupHandler interface {
 	HandleGroup(from trace.NodeID, msg wire.Msg)
+}
+
+// DHTHandler is the optional extension a Handler implements to receive
+// the DHT lookup messages (*wire.FindNode, *wire.FindValue,
+// *wire.StoreValue, *wire.NodesReply). A Handler without it drops them,
+// so DHT-aware and DHT-oblivious daemons interoperate.
+type DHTHandler interface {
+	HandleDHT(from trace.NodeID, msg wire.Msg)
 }
 
 // Config parameterizes a Manager.
@@ -93,6 +113,10 @@ type Config struct {
 	// accepted (redials must win against their dying predecessors).
 	// Zero means unbounded.
 	MaxPeers int
+	// Shards is the peer-table shard count (default DefaultShards).
+	// One shard reproduces the old single-lock behavior; benchmarks
+	// compare the two.
+	Shards int
 	// Backoff shapes Connect's redial schedule.
 	Backoff transport.Backoff
 	// Logf, when set, receives one line per connection event.
@@ -121,6 +145,8 @@ type Stats struct {
 	PiecesRecv    uint64 `json:"pieces_recv"`
 	GroupSent     uint64 `json:"group_sent"`
 	GroupRecv     uint64 `json:"group_recv"`
+	DHTSent       uint64 `json:"dht_sent"`
+	DHTRecv       uint64 `json:"dht_recv"`
 	Accepts       uint64 `json:"accepts"`
 	Dials         uint64 `json:"dials"`
 	Reconnects    uint64 `json:"reconnects"`
@@ -131,6 +157,28 @@ type Stats struct {
 	// PeersRejected counts handshakes refused because the peer table was
 	// at MaxPeers capacity.
 	PeersRejected uint64 `json:"peers_rejected"`
+}
+
+// counters is the lock-free backing for Stats.
+type counters struct {
+	hellosSent    atomic.Uint64
+	hellosRecv    atomic.Uint64
+	metadataSent  atomic.Uint64
+	metadataRecv  atomic.Uint64
+	piecesSent    atomic.Uint64
+	piecesRecv    atomic.Uint64
+	groupSent     atomic.Uint64
+	groupRecv     atomic.Uint64
+	dhtSent       atomic.Uint64
+	dhtRecv       atomic.Uint64
+	accepts       atomic.Uint64
+	dials         atomic.Uint64
+	reconnects    atomic.Uint64
+	drops         atomic.Uint64
+	expiries      atomic.Uint64
+	handshakeFail atomic.Uint64
+	flaps         atomic.Uint64
+	peersRejected atomic.Uint64
 }
 
 // ErrUnknownPeer reports a Send to a peer with no live session.
@@ -155,6 +203,23 @@ type flapInfo struct {
 	last  time.Time
 }
 
+// shard is one bucket of the peer table; all its maps are guarded by
+// its own mutex.
+type shard struct {
+	mu        sync.Mutex
+	byPeer    map[trace.NodeID]map[uint64]*session
+	lastHello map[trace.NodeID]time.Time
+	flaps     map[trace.NodeID]*flapInfo
+}
+
+func newShard() *shard {
+	return &shard{
+		byPeer:    make(map[trace.NodeID]map[uint64]*session),
+		lastHello: make(map[trace.NodeID]time.Time),
+		flaps:     make(map[trace.NodeID]*flapInfo),
+	}
+}
+
 // Manager is the daemon's connection owner. Construct with NewManager.
 type Manager struct {
 	cfg Config
@@ -164,12 +229,14 @@ type Manager struct {
 	// node that walked out of range. Sessions are left to expire.
 	paused atomic.Bool
 
-	mu        sync.Mutex
-	nextSID   uint64
-	byPeer    map[trace.NodeID]map[uint64]*session
-	lastHello map[trace.NodeID]time.Time
-	flaps     map[trace.NodeID]*flapInfo
-	stats     Stats
+	nextSID atomic.Uint64
+	// peerCount tracks distinct peers across all shards; register keeps
+	// the MaxPeers cap exact by incrementing first and rolling back on
+	// overflow, so two concurrent handshakes in different shards cannot
+	// both squeeze past the bound.
+	peerCount atomic.Int64
+	shards    []*shard
+	ctrs      counters
 }
 
 // NewManager returns a manager with defaults applied.
@@ -189,12 +256,22 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Hello == nil {
 		cfg.Hello = func() ([]string, []metadata.URI, []wire.GroupWant) { return nil, nil, nil }
 	}
-	return &Manager{
-		cfg:       cfg,
-		byPeer:    make(map[trace.NodeID]map[uint64]*session),
-		lastHello: make(map[trace.NodeID]time.Time),
-		flaps:     make(map[trace.NodeID]*flapInfo),
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
 	}
+	m := &Manager{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range m.shards {
+		m.shards[i] = newShard()
+	}
+	return m
+}
+
+// shardFor maps a peer ID to its shard. Node IDs are often sequential,
+// so the index mixes the bits first (SplitMix64's multiplier) rather
+// than taking a bare modulo.
+func (m *Manager) shardFor(id trace.NodeID) *shard {
+	h := uint64(int64(id)) * 0x9e3779b97f4a7c15
+	return m.shards[(h>>32)%uint64(len(m.shards))]
 }
 
 func (m *Manager) logf(format string, args ...any) {
@@ -256,7 +333,7 @@ func (m *Manager) Serve(ctx context.Context, lis transport.Listener) error {
 			}
 			return err
 		}
-		m.addStat(func(s *Stats) { s.Accepts++ })
+		m.ctrs.accepts.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -287,9 +364,9 @@ func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr stri
 			}
 			return err
 		}
-		m.addStat(func(s *Stats) { s.Dials++ })
+		m.ctrs.dials.Add(1)
 		if !first {
-			m.addStat(func(s *Stats) { s.Reconnects++ })
+			m.ctrs.reconnects.Add(1)
 		}
 		first = false
 		started := time.Now()
@@ -315,18 +392,33 @@ func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr stri
 	}
 }
 
+// ConnectOnce dials addr once and runs a single session until it drops
+// or ctx ends — no backoff loop, no redial. It is the DHT's
+// dial-on-demand primitive: a lookup that learns a contact outside the
+// current peer set brings up a transient link just long enough to
+// exchange RPCs, and lets liveness expiry reap it.
+func (m *Manager) ConnectOnce(ctx context.Context, tr transport.Transport, addr string) error {
+	conn, err := tr.Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	m.ctrs.dials.Add(1)
+	m.runSession(ctx, conn, false)
+	return ctx.Err()
+}
+
 // runSession handshakes conn and pumps its messages until it dies.
 func (m *Manager) runSession(ctx context.Context, conn transport.Conn, inbound bool) {
 	peerID, firstHello, err := m.handshake(ctx, conn)
 	if err != nil {
-		m.addStat(func(s *Stats) { s.HandshakeFail++ })
+		m.ctrs.handshakeFail.Add(1)
 		m.logf("peer: handshake with %s failed: %v", conn.RemoteAddr(), err)
 		conn.Close()
 		return
 	}
 	s, err := m.register(peerID, conn, inbound)
 	if err != nil {
-		m.addStat(func(st *Stats) { st.PeersRejected++ })
+		m.ctrs.peersRejected.Add(1)
 		m.logf("peer: rejecting node %d (%s): %v", peerID, conn.RemoteAddr(), err)
 		conn.Close()
 		return
@@ -338,7 +430,7 @@ func (m *Manager) runSession(ctx context.Context, conn transport.Conn, inbound b
 		msg, err := conn.Recv(ctx)
 		if err != nil {
 			m.unregister(s)
-			m.addStat(func(st *Stats) { st.Drops++ })
+			m.ctrs.drops.Add(1)
 			m.logf("peer: session %d with node %d down: %v", s.sid, peerID, err)
 			return
 		}
@@ -353,7 +445,7 @@ func (m *Manager) handshake(ctx context.Context, conn transport.Conn) (trace.Nod
 	if err := conn.Send(hctx, m.helloMsg()); err != nil {
 		return 0, nil, fmt.Errorf("send hello: %w", err)
 	}
-	m.addStat(func(s *Stats) { s.HellosSent++ })
+	m.ctrs.hellosSent.Add(1)
 	for {
 		msg, err := conn.Recv(hctx)
 		if err != nil {
@@ -376,20 +468,22 @@ func (m *Manager) handshake(ctx context.Context, conn transport.Conn) (trace.Nod
 // would grow the table past MaxPeers is refused: the capacity bound is
 // on distinct peers, so extra sessions to known peers always land.
 func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound bool) (*session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	set := m.byPeer[peerID]
+	sh := m.shardFor(peerID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set := sh.byPeer[peerID]
 	if set == nil {
-		if m.cfg.MaxPeers > 0 && len(m.byPeer) >= m.cfg.MaxPeers {
-			return nil, fmt.Errorf("%w (%d peers)", ErrTableFull, len(m.byPeer))
+		n := m.peerCount.Add(1)
+		if m.cfg.MaxPeers > 0 && n > int64(m.cfg.MaxPeers) {
+			m.peerCount.Add(-1)
+			return nil, fmt.Errorf("%w (%d peers)", ErrTableFull, n-1)
 		}
 		set = make(map[uint64]*session)
-		m.byPeer[peerID] = set
+		sh.byPeer[peerID] = set
 	}
-	m.nextSID++
-	s := &session{sid: m.nextSID, peer: peerID, conn: conn, inbound: inbound, started: time.Now()}
+	s := &session{sid: m.nextSID.Add(1), peer: peerID, conn: conn, inbound: inbound, started: time.Now()}
 	set[s.sid] = s
-	m.lastHello[peerID] = time.Now()
+	sh.lastHello[peerID] = time.Now()
 	return s, nil
 }
 
@@ -397,25 +491,27 @@ func (m *Manager) register(peerID trace.NodeID, conn transport.Conn, inbound boo
 // flap when the session died young.
 func (m *Manager) unregister(s *session) {
 	now := time.Now()
-	m.mu.Lock()
-	if set := m.byPeer[s.peer]; set != nil {
+	sh := m.shardFor(s.peer)
+	sh.mu.Lock()
+	if set := sh.byPeer[s.peer]; set != nil {
 		delete(set, s.sid)
 		if len(set) == 0 {
-			delete(m.byPeer, s.peer)
-			delete(m.lastHello, s.peer)
+			delete(sh.byPeer, s.peer)
+			delete(sh.lastHello, s.peer)
+			m.peerCount.Add(-1)
 		}
 	}
 	if now.Sub(s.started) < m.cfg.FlapThreshold {
-		fi := m.flaps[s.peer]
+		fi := sh.flaps[s.peer]
 		if fi == nil {
 			fi = &flapInfo{}
-			m.flaps[s.peer] = fi
+			sh.flaps[s.peer] = fi
 		}
 		fi.count++
 		fi.last = now
-		m.stats.Flaps++
+		m.ctrs.flaps.Add(1)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	s.conn.Close()
 }
 
@@ -426,36 +522,49 @@ func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 	}
 	switch v := msg.(type) {
 	case *wire.Hello:
-		m.mu.Lock()
-		m.lastHello[from] = time.Now()
-		m.stats.HellosRecv++
-		m.mu.Unlock()
+		sh := m.shardFor(from)
+		sh.mu.Lock()
+		// Refresh liveness only for registered peers: a hello racing a
+		// concurrent unregister must not resurrect a lastHello entry
+		// with no sessions behind it, or expire would double-count the
+		// peer's departure.
+		if _, ok := sh.byPeer[from]; ok {
+			sh.lastHello[from] = time.Now()
+		}
+		sh.mu.Unlock()
+		m.ctrs.hellosRecv.Add(1)
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandleHello(from, v)
 		}
 	case *wire.Metadata:
-		m.addStat(func(s *Stats) { s.MetadataRecv++ })
+		m.ctrs.metadataRecv.Add(1)
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandleMetadata(from, v)
 		}
 	case *wire.Piece:
-		m.addStat(func(s *Stats) { s.PiecesRecv++ })
+		m.ctrs.piecesRecv.Add(1)
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandlePiece(from, v)
 		}
+	case *wire.FindNode, *wire.FindValue, *wire.StoreValue, *wire.NodesReply:
+		m.ctrs.dhtRecv.Add(1)
+		if dh, ok := m.cfg.Handler.(DHTHandler); ok {
+			dh.HandleDHT(from, msg)
+		}
 	case *wire.GroupHello, *wire.Schedule, *wire.Grant, *wire.PieceBcast,
 		*wire.Symbol, *wire.SymbolAck:
-		m.addStat(func(s *Stats) { s.GroupRecv++ })
+		m.ctrs.groupRecv.Add(1)
 		if gh, ok := m.cfg.Handler.(GroupHandler); ok {
 			gh.HandleGroup(from, msg)
 		}
 	}
 }
 
-// pick returns the newest session for peer id, the one Send uses.
-func (m *Manager) pick(id trace.NodeID) *session {
+// pick returns the newest session for peer id, the one Send uses. The
+// shard lock must be held.
+func (sh *shard) pick(id trace.NodeID) *session {
 	var best *session
-	for _, s := range m.byPeer[id] {
+	for _, s := range sh.byPeer[id] {
 		if best == nil || s.sid > best.sid {
 			best = s
 		}
@@ -465,25 +574,27 @@ func (m *Manager) pick(id trace.NodeID) *session {
 
 // Send delivers one message to a live peer.
 func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error {
-	m.mu.Lock()
-	s := m.pick(id)
-	m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s := sh.pick(id)
+	sh.mu.Unlock()
 	if s == nil {
 		return fmt.Errorf("node %d: %w", id, ErrUnknownPeer)
 	}
 	if err := s.conn.Send(ctx, msg); err != nil {
 		return err
 	}
-	t := msg.Type()
-	switch t {
+	switch msg.Type() {
 	case wire.TypeHello:
-		m.addStat(func(st *Stats) { st.HellosSent++ })
+		m.ctrs.hellosSent.Add(1)
 	case wire.TypeMetadata:
-		m.addStat(func(st *Stats) { st.MetadataSent++ })
+		m.ctrs.metadataSent.Add(1)
 	case wire.TypePiece:
-		m.addStat(func(st *Stats) { st.PiecesSent++ })
+		m.ctrs.piecesSent.Add(1)
+	case wire.TypeFindNode, wire.TypeFindValue, wire.TypeStoreValue, wire.TypeNodesReply:
+		m.ctrs.dhtSent.Add(1)
 	default:
-		m.addStat(func(st *Stats) { st.GroupSent++ })
+		m.ctrs.groupSent.Add(1)
 	}
 	return nil
 }
@@ -514,31 +625,37 @@ func (m *Manager) broadcastHello(ctx context.Context) {
 
 // expire drops peers whose last hello is older than the liveness
 // window, closing their sessions, and decays flap scores of links that
-// have since held steady.
+// have since held steady. Shards are swept one at a time, so an expiry
+// pass never stalls traffic on the whole table.
 func (m *Manager) expire(now time.Time) {
-	m.mu.Lock()
 	var dead []*session
-	for id, at := range m.lastHello {
-		if now.Sub(at) <= m.cfg.LivenessWindow {
-			continue
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, at := range sh.lastHello {
+			if now.Sub(at) <= m.cfg.LivenessWindow {
+				continue
+			}
+			if set, ok := sh.byPeer[id]; ok {
+				for _, s := range set {
+					dead = append(dead, s)
+				}
+				delete(sh.byPeer, id)
+				m.peerCount.Add(-1)
+			}
+			delete(sh.lastHello, id)
+			m.ctrs.expiries.Add(1)
 		}
-		for _, s := range m.byPeer[id] {
-			dead = append(dead, s)
-		}
-		delete(m.byPeer, id)
-		delete(m.lastHello, id)
-		m.stats.Expiries++
-	}
-	for id, fi := range m.flaps {
-		if now.Sub(fi.last) > 4*m.cfg.LivenessWindow {
-			fi.count--
-			fi.last = now
-			if fi.count <= 0 {
-				delete(m.flaps, id)
+		for id, fi := range sh.flaps {
+			if now.Sub(fi.last) > 4*m.cfg.LivenessWindow {
+				fi.count--
+				fi.last = now
+				if fi.count <= 0 {
+					delete(sh.flaps, id)
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	for _, s := range dead {
 		s.conn.Close()
 		m.logf("peer: node %d expired (no hello in %v)", s.peer, m.cfg.LivenessWindow)
@@ -547,11 +664,13 @@ func (m *Manager) expire(now time.Time) {
 
 // Peers returns the live peer IDs, sorted.
 func (m *Manager) Peers() []trace.NodeID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]trace.NodeID, 0, len(m.byPeer))
-	for id := range m.byPeer {
-		out = append(out, id)
+	out := make([]trace.NodeID, 0, max(m.peerCount.Load(), 0))
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id := range sh.byPeer {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -560,25 +679,27 @@ func (m *Manager) Peers() []trace.NodeID {
 // Table snapshots the peer table for stats endpoints.
 func (m *Manager) Table() []Info {
 	now := time.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Info, 0, len(m.byPeer))
-	for id, set := range m.byPeer {
-		s := m.pick(id)
-		if s == nil {
-			continue
+	out := make([]Info, 0, max(m.peerCount.Load(), 0))
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, set := range sh.byPeer {
+			s := sh.pick(id)
+			if s == nil {
+				continue
+			}
+			info := Info{
+				ID:        id,
+				Addr:      s.conn.RemoteAddr(),
+				Inbound:   s.inbound,
+				LastHello: now.Sub(sh.lastHello[id]),
+				Sessions:  len(set),
+			}
+			if fi := sh.flaps[id]; fi != nil {
+				info.Flaps = fi.count
+			}
+			out = append(out, info)
 		}
-		info := Info{
-			ID:        id,
-			Addr:      s.conn.RemoteAddr(),
-			Inbound:   s.inbound,
-			LastHello: now.Sub(m.lastHello[id]),
-			Sessions:  len(set),
-		}
-		if fi := m.flaps[id]; fi != nil {
-			info.Flaps = fi.count
-		}
-		out = append(out, info)
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -586,30 +707,44 @@ func (m *Manager) Table() []Info {
 
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
-
-func (m *Manager) addStat(f func(*Stats)) {
-	m.mu.Lock()
-	f(&m.stats)
-	m.mu.Unlock()
+	return Stats{
+		HellosSent:    m.ctrs.hellosSent.Load(),
+		HellosRecv:    m.ctrs.hellosRecv.Load(),
+		MetadataSent:  m.ctrs.metadataSent.Load(),
+		MetadataRecv:  m.ctrs.metadataRecv.Load(),
+		PiecesSent:    m.ctrs.piecesSent.Load(),
+		PiecesRecv:    m.ctrs.piecesRecv.Load(),
+		GroupSent:     m.ctrs.groupSent.Load(),
+		GroupRecv:     m.ctrs.groupRecv.Load(),
+		DHTSent:       m.ctrs.dhtSent.Load(),
+		DHTRecv:       m.ctrs.dhtRecv.Load(),
+		Accepts:       m.ctrs.accepts.Load(),
+		Dials:         m.ctrs.dials.Load(),
+		Reconnects:    m.ctrs.reconnects.Load(),
+		Drops:         m.ctrs.drops.Load(),
+		Expiries:      m.ctrs.expiries.Load(),
+		HandshakeFail: m.ctrs.handshakeFail.Load(),
+		Flaps:         m.ctrs.flaps.Load(),
+		PeersRejected: m.ctrs.peersRejected.Load(),
+	}
 }
 
 // Close closes every session; used on daemon shutdown after contexts
 // are canceled.
 func (m *Manager) Close() {
-	m.mu.Lock()
 	var conns []transport.Conn
-	for _, set := range m.byPeer {
-		for _, s := range set {
-			conns = append(conns, s.conn)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, set := range sh.byPeer {
+			for _, s := range set {
+				conns = append(conns, s.conn)
+			}
 		}
+		sh.byPeer = make(map[trace.NodeID]map[uint64]*session)
+		sh.lastHello = make(map[trace.NodeID]time.Time)
+		sh.mu.Unlock()
 	}
-	m.byPeer = make(map[trace.NodeID]map[uint64]*session)
-	m.lastHello = make(map[trace.NodeID]time.Time)
-	m.mu.Unlock()
+	m.peerCount.Store(0)
 	for _, c := range conns {
 		c.Close()
 	}

@@ -238,9 +238,12 @@ func TestFlapAccounting(t *testing.T) {
 
 	// Decay: after a long quiet period the flap score drains away.
 	m.expire(time.Now().Add(5 * m.cfg.LivenessWindow))
-	m.mu.Lock()
-	left := len(m.flaps)
-	m.mu.Unlock()
+	left := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		left += len(sh.flaps)
+		sh.mu.Unlock()
+	}
 	if left != 0 {
 		t.Fatalf("%d flap entries survived decay", left)
 	}

@@ -90,6 +90,17 @@ func (c *Safe) Top(now simtime.Time, limit int) []*metadata.Metadata {
 	return clones(c.s.Top(now, limit))
 }
 
+// Records enumerates the unexpired catalog with popularities, cloned.
+func (c *Safe) Records(now simtime.Time) []StoredRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs := c.s.Records(now)
+	for i := range recs {
+		recs[i].Meta = recs[i].Meta.Clone()
+	}
+	return recs
+}
+
 // Piece serves piece i of the file at uri.
 func (c *Safe) Piece(uri metadata.URI, i int) ([]byte, error) {
 	c.mu.Lock()

@@ -236,6 +236,28 @@ func (s *Server) Top(now simtime.Time, limit int) []*metadata.Metadata {
 	return result
 }
 
+// StoredRecord pairs one catalog record with its measured popularity at
+// the time of enumeration.
+type StoredRecord struct {
+	Meta       *metadata.Metadata
+	Popularity float64
+}
+
+// Records enumerates the unexpired catalog with popularities, sorted by
+// URI — the walk an Internet node's DHT publish loop takes when it
+// pushes the whole catalog into the decentralized index.
+func (s *Server) Records(now simtime.Time) []StoredRecord {
+	out := make([]StoredRecord, 0, len(s.byURI))
+	for uri, e := range s.byURI {
+		if e.meta.Expired(now) {
+			continue
+		}
+		out = append(out, StoredRecord{Meta: e.meta, Popularity: s.Popularity(now, uri)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.URI < out[j].Meta.URI })
+	return out
+}
+
 // Piece serves piece i of the file at uri (synthetic content whose hash
 // matches the published metadata).
 func (s *Server) Piece(uri metadata.URI, i int) ([]byte, error) {

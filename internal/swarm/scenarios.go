@@ -56,6 +56,30 @@ type Report struct {
 	CreditMean   float64 `json:"credit_mean"`
 	CreditStddev float64 `json:"credit_stddev"`
 
+	// Decentralized-index accounting (Config.EnableDHT).
+	DHTEnabled    bool   `json:"dht_enabled"`
+	DHTLookups    uint64 `json:"dht_lookups,omitempty"`
+	DHTLookupHits uint64 `json:"dht_lookup_hits,omitempty"`
+	DHTCacheHits  uint64 `json:"dht_cache_hits,omitempty"`
+	DHTStoresSent uint64 `json:"dht_stores_sent,omitempty"`
+	DHTStoresRecv uint64 `json:"dht_stores_recv,omitempty"`
+	DHTRPCsSent   uint64 `json:"dht_rpcs_sent,omitempty"`
+	// Post-shock query resolution (the server-death scenario): queries
+	// issued only after the catalog server died, and how many of them
+	// resolved to verified metadata within the scenario's window.
+	PostDeathQueries         int     `json:"post_death_queries,omitempty"`
+	PostDeathResolved        int     `json:"post_death_resolved,omitempty"`
+	PostDeathResolveFraction float64 `json:"post_death_resolve_fraction"`
+
+	// Fountain-plane accounting (Config.EnableFEC).
+	FECEnabled      bool   `json:"fec_enabled"`
+	SymbolsSent     uint64 `json:"symbols_sent,omitempty"`
+	SymbolsRecv     uint64 `json:"symbols_recv,omitempty"`
+	SymbolsRelayed  uint64 `json:"symbols_relayed,omitempty"`
+	FECDecodes      uint64 `json:"fec_decodes,omitempty"`
+	PieceBcastsSent uint64 `json:"piece_bcasts_sent,omitempty"`
+	PieceBcastsRecv uint64 `json:"piece_bcasts_recv,omitempty"`
+
 	GoroutinesPerNode float64 `json:"goroutines_per_node"`
 	HeapBytesPerNode  float64 `json:"heap_bytes_per_node"`
 }
@@ -308,6 +332,150 @@ func Diurnal(nodes int, seed uint64) Scenario {
 	}
 }
 
+// ServerDeath is the decentralized-discovery acceptance scenario: the
+// catalog server publishes its index into the DHT and then dies, and
+// every downloader issues a keyword query for a file nobody ever
+// searched while the server lived. Legacy gossip cannot answer — the
+// metadata only ever spread to nodes that queried it — so resolution
+// measures the DHT alone. The report records how many post-death
+// queries resolved.
+func ServerDeath(nodes int, seed uint64) Scenario { return serverDeath(nodes, seed, true) }
+
+// ServerDeathBaseline is ServerDeath without the DHT — the ~0%%
+// control the DHT run is compared against.
+func ServerDeathBaseline(nodes int, seed uint64) Scenario { return serverDeath(nodes, seed, false) }
+
+func serverDeath(nodes int, seed uint64, withDHT bool) Scenario {
+	name := "server-death"
+	if !withDHT {
+		name = "server-death-baseline"
+	}
+	cfg := Config{Nodes: nodes, Seed: seed, Files: 2, QueryFiles: 1, EnableDHT: withDHT}
+	var queried, resolved int
+	return Scenario{
+		Name:   name,
+		Config: cfg,
+		Script: func(ctx context.Context, h *Harness) error {
+			// Wave 1: the initially queried file completes everywhere
+			// while the server lives. The second file is never queried,
+			// so its metadata spreads nowhere over gossip.
+			if err := h.WaitFraction(ctx, 1.0); err != nil {
+				return err
+			}
+			// With the DHT on, let the server's republish cycle seed the
+			// index before the shock: once half the downloaders hold the
+			// never-queried keyword locally, its K-closest replicas exist
+			// and survive the publisher.
+			if withDHT {
+				if err := waitCached(ctx, h, "f1", 0.5); err != nil {
+					return err
+				}
+			}
+			if err := h.Kill(0); err != nil {
+				return err
+			}
+			// Post-death: every downloader asks for the file nobody ever
+			// queried. Only the decentralized index can answer.
+			for i := h.cfg.Seeders; i < h.cfg.Nodes; i++ {
+				if err := h.AddQuery(trace.NodeID(i), "f1"); err != nil {
+					return err
+				}
+				queried++
+			}
+			f1 := metadata.URIFor(metadata.FileID(1))
+			deadline := time.Now().Add(30 * h.cfg.DHTRepublish)
+			for time.Now().Before(deadline) {
+				if resolved = countKnowing(h, f1); resolved == queried {
+					break
+				}
+				select {
+				case <-time.After(20 * time.Millisecond):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			resolved = countKnowing(h, f1)
+			return nil
+		},
+		Finish: func(h *Harness, rep *Report) {
+			rep.PostDeathQueries = queried
+			rep.PostDeathResolved = resolved
+			if queried > 0 {
+				rep.PostDeathResolveFraction = float64(resolved) / float64(queried)
+			}
+		},
+	}
+}
+
+// waitCached blocks until frac of the downloaders hold a local DHT
+// value for keyword, or ctx ends.
+func waitCached(ctx context.Context, h *Harness, keyword string, frac float64) error {
+	for {
+		have, total := 0, 0
+		for i := h.cfg.Seeders; i < h.cfg.Nodes; i++ {
+			total++
+			if h.DHTCached(trace.NodeID(i), keyword) {
+				have++
+			}
+		}
+		if total > 0 && float64(have) >= frac*float64(total) {
+			return nil
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("swarm: DHT replication of %q at %d/%d: %w", keyword, have, total, ctx.Err())
+		}
+	}
+}
+
+// countKnowing counts downloaders holding an unexpired record for uri.
+func countKnowing(h *Harness, uri metadata.URI) int {
+	n := 0
+	for i := h.cfg.Seeders; i < h.cfg.Nodes; i++ {
+		if h.KnowsMetadata(trace.NodeID(i), uri) {
+			n++
+		}
+	}
+	return n
+}
+
+// Fountain is the coded variant of the steady distribution: one
+// full-mesh clique moves the file over the fountain-coded symbol plane
+// instead of pairwise pieces. Queries wait for group confirmation so
+// the coded plane, not the unicast fallback, carries the bulk; the
+// report's symbol counters and piece-equivalent transmissions-per-piece
+// are the artifact.
+func Fountain(nodes int, seed uint64) Scenario {
+	if nodes > 5 {
+		nodes = 5
+	}
+	if nodes < 3 {
+		nodes = 3
+	}
+	cfg := Config{Nodes: nodes, Seed: seed, EnableFEC: true, QueryFiles: -1}
+	return Scenario{
+		Name:   "fountain",
+		Config: cfg,
+		Target: 1.0,
+		Script: func(ctx context.Context, h *Harness) error {
+			for !h.GroupsConfirmed() {
+				select {
+				case <-time.After(20 * time.Millisecond):
+				case <-ctx.Done():
+					return fmt.Errorf("swarm: groups never confirmed: %w", ctx.Err())
+				}
+			}
+			for i := h.cfg.Seeders; i < h.cfg.Nodes; i++ {
+				if err := h.AddQuery(trace.NodeID(i), "f0"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
 // sleeperSet picks every third downloader, skipping seeders.
 func sleeperSet(h *Harness) []trace.NodeID {
 	var ids []trace.NodeID
@@ -373,12 +541,15 @@ func mobilitySchedules(nodes, seeders int, seed uint64) (map[trace.NodeID][]faul
 
 // scenarioBuilders is the registry the CLI and tests draw from.
 var scenarioBuilders = map[string]func(nodes int, seed uint64) Scenario{
-	"steady":         Steady,
-	"flash-crowd":    FlashCrowd,
-	"seeder-death":   SeederDeath,
-	"staggered-join": StaggeredJoin,
-	"diurnal":        Diurnal,
-	"mobility":       Mobility,
+	"steady":                Steady,
+	"flash-crowd":           FlashCrowd,
+	"seeder-death":          SeederDeath,
+	"staggered-join":        StaggeredJoin,
+	"diurnal":               Diurnal,
+	"mobility":              Mobility,
+	"server-death":          ServerDeath,
+	"server-death-baseline": ServerDeathBaseline,
+	"fountain":              Fountain,
 }
 
 // ScenarioNames lists the registered scenarios, sorted.

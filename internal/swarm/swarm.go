@@ -93,6 +93,29 @@ type Config struct {
 	// RetryBudget is each download's stall re-drive budget (default 64:
 	// scenario partitions burn retries fast).
 	RetryBudget int
+	// QueryFiles limits each downloader's initial queries to files
+	// 0..QueryFiles-1 (0 = all Files; -1 = none — the scenario script
+	// issues queries itself via AddQuery). Completion targets count the
+	// initially queried files, or all files when none are queried
+	// initially.
+	QueryFiles int
+	// EnableDHT runs the Kademlia metadata index on every node, seeders
+	// included: seeders publish the catalog into the index, downloaders
+	// resolve open queries DHT-first.
+	EnableDHT bool
+	// DHTRepublish is the DHT maintenance cadence (default
+	// 4×HelloInterval: fast enough that scenario scripts see the index
+	// converge in a few beacon intervals).
+	DHTRepublish time.Duration
+	// EnableFEC puts every node in one broadcast group on a shared
+	// radio domain with the fountain-coded symbol plane — the coded
+	// variant of a swarm scenario. Group formation needs a full mesh,
+	// so this caps the population (fillDefaults enforces it) and forces
+	// Degree = Nodes-1.
+	EnableFEC bool
+	// SymbolSize is the coded-symbol payload size with EnableFEC
+	// (default 256, i.e. 4 source symbols per default-size piece).
+	SymbolSize int
 	// Fault, when non-zero, wraps every node's transport in a chaos
 	// injector with a per-node seed derived from Seed.
 	Fault fault.Config
@@ -146,6 +169,24 @@ func (c *Config) fillDefaults() error {
 	if c.RetryBudget <= 0 {
 		c.RetryBudget = 64
 	}
+	if c.QueryFiles > c.Files {
+		return fmt.Errorf("swarm: QueryFiles %d exceeds Files %d", c.QueryFiles, c.Files)
+	}
+	if c.DHTRepublish <= 0 {
+		c.DHTRepublish = 4 * c.HelloInterval
+	}
+	if c.EnableFEC {
+		// One broadcast group spans the population; clique formation
+		// needs everyone in radio range of everyone.
+		const maxFEC = 8
+		if c.Nodes > maxFEC {
+			return fmt.Errorf("swarm: EnableFEC supports at most %d nodes (one clique), have %d", maxFEC, c.Nodes)
+		}
+		c.Degree = c.Nodes - 1
+		if c.SymbolSize <= 0 {
+			c.SymbolSize = 256
+		}
+	}
 	return nil
 }
 
@@ -177,6 +218,11 @@ type nodeState struct {
 type retiredStats struct {
 	piecesSent, piecesVerified, piecesDuplicate, piecesResent uint64
 	hellosSent, peersRejected, outboxDrops                    uint64
+	// DHT and fountain-plane counters, folded on Kill like the rest.
+	dhtLookups, dhtLookupHits, dhtCacheHits      uint64
+	dhtStoresSent, dhtStoresRecv, dhtRPCs        uint64
+	symbolsSent, symbolsRecv, symbolsRelayed     uint64
+	fecDecodes, pieceBcastsSent, pieceBcastsRecv uint64
 }
 
 // Harness runs one swarm. Construct with New, boot with Start, script
@@ -208,11 +254,31 @@ func New(cfg Config) (*Harness, error) {
 		target: make(map[string]bool),
 	}
 
-	queries := make([]string, cfg.Files)
-	uris := make([]metadata.URI, cfg.Files)
-	for f := 0; f < cfg.Files; f++ {
+	// Initial queries per downloader (QueryFiles shapes them); targets
+	// count the queried files, or every file when scripts query later.
+	nq := cfg.Files
+	if cfg.QueryFiles > 0 {
+		nq = cfg.QueryFiles
+	} else if cfg.QueryFiles < 0 {
+		nq = 0
+	}
+	queries := make([]string, nq)
+	for f := 0; f < nq; f++ {
 		queries[f] = fmt.Sprintf("f%d", f)
+	}
+	nt := nq
+	if nt == 0 {
+		nt = cfg.Files
+	}
+	uris := make([]metadata.URI, nt)
+	for f := 0; f < nt; f++ {
 		uris[f] = metadata.URIFor(metadata.FileID(f))
+	}
+
+	var radio, lane *transport.BroadcastDomain
+	if cfg.EnableFEC {
+		radio = h.net.Domain("radio")
+		lane = h.net.SymbolDomain("radio")
 	}
 
 	topo := rng.New(cfg.Seed ^ 0x5ee0c1a1)
@@ -250,6 +316,25 @@ func New(cfg Config) (*Harness, error) {
 				Jitter: -1,
 			},
 			OnComplete: func(uri metadata.URI) { h.observeComplete(id, uri) },
+		}
+		if cfg.EnableDHT {
+			dcfg.EnableDHT = true
+			dcfg.DHTRepublish = cfg.DHTRepublish
+		}
+		if cfg.EnableFEC {
+			dcfg.EnableBcast = true
+			dcfg.EnableFEC = true
+			dcfg.SymbolSize = cfg.SymbolSize
+			conn, err := radio.Join(dcfg.ListenAddr)
+			if err != nil {
+				return nil, fmt.Errorf("swarm: node %d radio: %w", id, err)
+			}
+			dcfg.Broadcast = conn
+			sym, err := lane.Join(dcfg.ListenAddr)
+			if err != nil {
+				return nil, fmt.Errorf("swarm: node %d symbol lane: %w", id, err)
+			}
+			dcfg.Symbols = sym
 		}
 		if i < cfg.Seeders {
 			dcfg.InternetAccess = true
@@ -394,6 +479,22 @@ func (h *Harness) Kill(id trace.NodeID) error {
 	ns.retired.piecesDuplicate += st.PiecesDuplicate
 	ns.retired.piecesResent += st.PiecesResent
 	ns.retired.outboxDrops += st.OutboxDrops
+	if st.DHT != nil {
+		ns.retired.dhtLookups += st.DHT.Lookups
+		ns.retired.dhtLookupHits += st.DHT.LookupHits
+		ns.retired.dhtCacheHits += st.DHT.CacheHits
+		ns.retired.dhtStoresSent += st.DHT.StoresSent
+		ns.retired.dhtStoresRecv += st.DHT.StoresRecv
+		ns.retired.dhtRPCs += st.DHT.RPCsSent
+	}
+	if st.Bcast != nil {
+		ns.retired.symbolsSent += st.Bcast.SymbolsSent
+		ns.retired.symbolsRecv += st.Bcast.SymbolsRecv
+		ns.retired.symbolsRelayed += st.Bcast.SymbolsRelayed
+		ns.retired.fecDecodes += st.Bcast.FECDecodes
+		ns.retired.pieceBcastsSent += st.Bcast.PieceBcastsSent
+		ns.retired.pieceBcastsRecv += st.Bcast.PieceBcastsRecv
+	}
 	ns.d, ns.cancel, ns.done, ns.running = nil, nil, nil, false
 	h.logf("swarm: node %d killed", id)
 	return nil
@@ -423,6 +524,71 @@ func (h *Harness) setPaused(id trace.NodeID, p bool) error {
 	}
 	ns.paused = p
 	return nil
+}
+
+// AddQuery issues a new keyword query on a running node — the
+// scenario-script lever for post-shock searches.
+func (h *Harness) AddQuery(id trace.NodeID, q string) error {
+	ns, err := h.node(id)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if !ns.running {
+		return fmt.Errorf("swarm: node %d not running", id)
+	}
+	ns.d.AddQuery(q)
+	return nil
+}
+
+// KnowsMetadata reports whether a running node holds an unexpired
+// metadata record for uri — the query-resolution ground truth the
+// server-death scenario counts.
+func (h *Harness) KnowsMetadata(id trace.NodeID, uri metadata.URI) bool {
+	ns, err := h.node(id)
+	if err != nil {
+		return false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.running && ns.d.KnowsMetadata(uri)
+}
+
+// DHTCached reports whether a running node's local DHT cache holds at
+// least one value for keyword — the replication probe scenario scripts
+// use before killing the publisher.
+func (h *Harness) DHTCached(id trace.NodeID, keyword string) bool {
+	ns, err := h.node(id)
+	if err != nil {
+		return false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if !ns.running || ns.d.DHT() == nil {
+		return false
+	}
+	return len(ns.d.DHT().CachedValues(keyword)) > 0
+}
+
+// GroupsConfirmed reports whether every running node sits in a
+// confirmed broadcast group of the full population — the FEC
+// scenarios' readiness gate.
+func (h *Harness) GroupsConfirmed() bool {
+	for _, ns := range h.nodes {
+		ns.mu.Lock()
+		d := ns.d
+		running := ns.running
+		ns.mu.Unlock()
+		if !running || d == nil {
+			return false
+		}
+		st := d.Stats()
+		if st.Bcast == nil || !st.Bcast.Confirmed || len(st.Bcast.Group) != h.cfg.Nodes {
+			return false
+		}
+	}
+	return true
 }
 
 func (h *Harness) node(id trace.NodeID) (*nodeState, error) {
@@ -634,6 +800,8 @@ func (h *Harness) Report(scenario string) Report {
 		Downloaders: h.cfg.Nodes - h.cfg.Seeders,
 		WallMs:      float64(time.Since(h.t0)) / float64(time.Millisecond),
 		SurvivalMs:  -1,
+		DHTEnabled:  h.cfg.EnableDHT,
+		FECEnabled:  h.cfg.EnableFEC,
 	}
 
 	var credits []float64
@@ -649,6 +817,18 @@ func (h *Harness) Report(scenario string) Report {
 		rep.HellosSent += r.hellosSent
 		rep.PeersRejected += r.peersRejected
 		rep.OutboxDrops += r.outboxDrops
+		rep.DHTLookups += r.dhtLookups
+		rep.DHTLookupHits += r.dhtLookupHits
+		rep.DHTCacheHits += r.dhtCacheHits
+		rep.DHTStoresSent += r.dhtStoresSent
+		rep.DHTStoresRecv += r.dhtStoresRecv
+		rep.DHTRPCsSent += r.dhtRPCs
+		rep.SymbolsSent += r.symbolsSent
+		rep.SymbolsRecv += r.symbolsRecv
+		rep.SymbolsRelayed += r.symbolsRelayed
+		rep.FECDecodes += r.fecDecodes
+		rep.PieceBcastsSent += r.pieceBcastsSent
+		rep.PieceBcastsRecv += r.pieceBcastsRecv
 		if d == nil {
 			continue
 		}
@@ -660,6 +840,22 @@ func (h *Harness) Report(scenario string) Report {
 		rep.HellosSent += st.Transport.HellosSent
 		rep.PeersRejected += st.Transport.PeersRejected
 		rep.OutboxDrops += st.OutboxDrops
+		if st.DHT != nil {
+			rep.DHTLookups += st.DHT.Lookups
+			rep.DHTLookupHits += st.DHT.LookupHits
+			rep.DHTCacheHits += st.DHT.CacheHits
+			rep.DHTStoresSent += st.DHT.StoresSent
+			rep.DHTStoresRecv += st.DHT.StoresRecv
+			rep.DHTRPCsSent += st.DHT.RPCsSent
+		}
+		if st.Bcast != nil {
+			rep.SymbolsSent += st.Bcast.SymbolsSent
+			rep.SymbolsRecv += st.Bcast.SymbolsRecv
+			rep.SymbolsRelayed += st.Bcast.SymbolsRelayed
+			rep.FECDecodes += st.Bcast.FECDecodes
+			rep.PieceBcastsSent += st.Bcast.PieceBcastsSent
+			rep.PieceBcastsRecv += st.Bcast.PieceBcastsRecv
+		}
 		total := 0.0
 		for _, c := range d.CreditSnapshot() {
 			total += c
@@ -667,7 +863,16 @@ func (h *Harness) Report(scenario string) Report {
 		credits = append(credits, total)
 	}
 	if rep.PiecesVerified > 0 {
-		rep.TransmissionsPerPiece = float64(rep.PiecesSent) / float64(rep.PiecesVerified)
+		// Piece-equivalent transmissions per verified piece: pairwise
+		// pieces and piece broadcasts each cost one transmission on
+		// their medium; coded symbols (relays included) cost their size
+		// fraction of a piece.
+		tx := float64(rep.PiecesSent + rep.PieceBcastsSent)
+		if h.cfg.EnableFEC {
+			tx += float64(rep.SymbolsSent+rep.SymbolsRelayed) *
+				float64(h.cfg.SymbolSize) / float64(h.cfg.PieceSize)
+		}
+		rep.TransmissionsPerPiece = tx / float64(rep.PiecesVerified)
 	}
 	rep.CreditMean, rep.CreditStddev = meanStddev(credits)
 

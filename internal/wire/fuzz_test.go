@@ -35,6 +35,11 @@ func seedFrames() [][]byte {
 			Total: m.Record.NumPieces(), Data: data}),
 		EncodeSymbol(sampleSymbol()),
 		EncodeSymbolAck(sampleSymbolAck()),
+		EncodeFindNode(sampleFindNode()),
+		EncodeFindValue(sampleFindValue()),
+		EncodeStoreValue(sampleStoreValue()),
+		EncodeNodesReply(sampleNodesReply()),
+		EncodeNodesReply(&NodesReply{From: 5, FromAddr: "n5", RPCID: 1}),
 	}
 }
 

@@ -48,6 +48,11 @@ func frames() [][]byte {
 	ack.Have = make([]byte, (ack.Total+7)/8)
 	ack.SetHave(0)
 	ack.SetHave(1)
+	var key [wire.KeySize]byte
+	for i := range key {
+		key[i] = byte(i*5 + 1)
+	}
+	val := wire.DHTValue{Keyword: "news", TTLMillis: 120_000, Meta: *m}
 	return [][]byte{
 		wire.EncodeHello(&wire.Hello{
 			From:        7,
@@ -81,6 +86,20 @@ func frames() [][]byte {
 		}),
 		wire.EncodeSymbol(sym),
 		wire.EncodeSymbolAck(ack),
+		wire.EncodeFindNode(&wire.FindNode{
+			From: 7, FromAddr: "n7", RPCID: 21, Target: key,
+		}),
+		wire.EncodeFindValue(&wire.FindValue{
+			From: 9, FromAddr: "n9", RPCID: 22, Key: key,
+		}),
+		wire.EncodeStoreValue(&wire.StoreValue{
+			From: 3, FromAddr: "n3", RPCID: 23, Key: key, Value: val,
+		}),
+		wire.EncodeNodesReply(&wire.NodesReply{
+			From: 11, FromAddr: "n11", RPCID: 24, Key: key, Found: true,
+			Nodes:  []wire.NodeInfo{{ID: 3, Addr: "n3"}, {ID: 7, Addr: "n7"}},
+			Values: []wire.DHTValue{val},
+		}),
 	}
 }
 

@@ -47,6 +47,10 @@ const (
 	TypePieceBcast
 	TypeSymbol
 	TypeSymbolAck
+	TypeFindNode
+	TypeFindValue
+	TypeStoreValue
+	TypeNodesReply
 )
 
 // String names the message type.
@@ -70,6 +74,14 @@ func (t MsgType) String() string {
 		return "symbol"
 	case TypeSymbolAck:
 		return "symbol-ack"
+	case TypeFindNode:
+		return "find-node"
+	case TypeFindValue:
+		return "find-value"
+	case TypeStoreValue:
+		return "store-value"
+	case TypeNodesReply:
+		return "nodes-reply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -295,7 +307,8 @@ func Peek(b []byte) (MsgType, error) {
 	switch t {
 	case TypeHello, TypeMetadata, TypePiece,
 		TypeGroupHello, TypeSchedule, TypeGrant, TypePieceBcast,
-		TypeSymbol, TypeSymbolAck:
+		TypeSymbol, TypeSymbolAck,
+		TypeFindNode, TypeFindValue, TypeStoreValue, TypeNodesReply:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("type %d: %w", b[2], ErrBadType)
@@ -568,6 +581,14 @@ func Encode(m Msg) []byte {
 		return EncodeSymbol(m)
 	case *SymbolAck:
 		return EncodeSymbolAck(m)
+	case *FindNode:
+		return EncodeFindNode(m)
+	case *FindValue:
+		return EncodeFindValue(m)
+	case *StoreValue:
+		return EncodeStoreValue(m)
+	case *NodesReply:
+		return EncodeNodesReply(m)
 	default:
 		panic(fmt.Sprintf("wire: Encode(%T)", m))
 	}
@@ -600,6 +621,14 @@ func Decode(b []byte) (Msg, error) {
 		m, err = DecodeSymbol(b)
 	case TypeSymbolAck:
 		m, err = DecodeSymbolAck(b)
+	case TypeFindNode:
+		m, err = DecodeFindNode(b)
+	case TypeFindValue:
+		m, err = DecodeFindValue(b)
+	case TypeStoreValue:
+		m, err = DecodeStoreValue(b)
+	case TypeNodesReply:
+		m, err = DecodeNodesReply(b)
 	default:
 		m, err = DecodePiece(b)
 	}
