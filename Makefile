@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short fec-soak fec-soak-short dht-soak dht-soak-short
+.PHONY: check vet test race short bench bench-json fuzz chaos chaos-short bcast-soak bcast-soak-short crash-soak crash-soak-short swarm swarm-short fec-soak fec-soak-short dht-soak dht-soak-short overload-soak overload-soak-short
 
 check: vet test race
 
@@ -92,20 +92,36 @@ swarm:
 swarm-short:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestSwarm(SmallDeterminism|KillResume|200Race|ConfigValidation)' -v ./internal/swarm
 
+# Overload soak: the limiter/breaker property suite, the Busy frame
+# codec, per-peer admission shedding (the raw-connection flood against a
+# live victim, then the same flood layered over drop+corruption faults),
+# catalog query limiting, and the 24-node flash-crowd-overload swarm
+# scenario that must degrade, keep serving, and recover — all
+# race-clean. overload-soak-short is the CI smoke: the single-victim
+# flood plus the swarm scenario.
+overload-soak:
+	$(GO) test -race -count=1 -v ./internal/limit
+	$(GO) test -race -count=1 -run 'TestBusy|TestSafeQueryLimit' -v ./internal/wire ./internal/server
+	$(GO) test -race -count=1 -run 'TestOutboxClassPriority|TestHealthzSaturationRecovers|TestFloodVictimStaysLive|TestChaosFloodSoak|TestSwarmOverload' -v ./internal/daemon ./internal/swarm
+
+overload-soak-short:
+	$(GO) test -race -count=1 -run 'TestFloodVictimStaysLive|TestSwarmOverload' -v ./internal/daemon ./internal/swarm
+
 # The sweep-pool benchmark: workers=1 vs workers=NumCPU wall clock.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x .
 
 # Benchmark history: the hot-path benches (wire codec, beacon fan-out,
 # peer-table contention, DHT k-buckets and lookups, WAL append/replay,
-# clique enumeration) plus the sweep pool, rendered to JSON. Each run
+# clique enumeration, admission limiters, outbox shedding) plus the
+# sweep pool, rendered to JSON. Each run
 # APPENDS a record stamped with the git SHA and UTC date to
 # results/BENCH_swarm.json, so the file accumulates a per-commit
 # history for diffing (see cmd/benchjson for the format).
 bench-json:
 	{ $(GO) test -run '^$$' -bench . -benchtime 0.5s \
-		./internal/wire ./internal/peer ./internal/store ./internal/clique ./internal/fec ./internal/dht ; \
-	  $(GO) test -run '^$$' -bench BenchmarkFECSoak -benchtime 1x ./internal/daemon ; \
+		./internal/wire ./internal/peer ./internal/store ./internal/clique ./internal/fec ./internal/dht ./internal/limit ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFECSoak|BenchmarkOutboxShed' -benchtime 1x ./internal/daemon ; \
 	  $(GO) test -run '^$$' -bench BenchmarkRunAll -benchtime 1x . ; } \
 	| $(GO) run ./cmd/benchjson -label swarm-baseline \
 		-commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \

@@ -102,6 +102,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		dhtOn    = fs.Bool("dht", false, "join the Kademlia metadata index: publish the catalog into it (with -internet) and resolve queries from it when the server path is gone")
 		dhtK     = fs.Int("dht-k", 0, "with -dht, k-bucket size and replication factor (0 = engine default)")
 		dhtRepub = fs.Duration("dht-republish", 0, "with -dht, table-refresh and catalog-republish cadence (0 = 10x -hello)")
+		rate     = fs.Float64("rate", 0, "per-peer admission rate in messages/second: excess inbound is shed and answered with Busy, and catalog/DHT service obeys the same rate (0 = off)")
+		busyRA   = fs.Duration("busy-retry-after", 0, "backoff window advertised in outgoing Busy frames (0 = 2x -hello)")
+		brkCool  = fs.Duration("breaker-cooldown", 0, "dial circuit-breaker open window per failing address (0 = -window)")
 		faultArg = fs.String("fault", "", "inject transport faults, e.g. 'seed=42,drop=0.3,corrupt=0.2,partition=10s-20s' (see internal/fault)")
 		dataDir  = fs.String("data-dir", "", "persist node state here (WAL + snapshots); restart resumes from it")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
@@ -140,6 +143,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if *dhtRepub < 0 {
 		return fail("-dht-republish must be positive, have %v", *dhtRepub)
+	}
+	if *rate < 0 {
+		return fail("-rate must be >= 0 messages/second, have %v", *rate)
+	}
+	if *busyRA < 0 {
+		return fail("-busy-retry-after must be >= 0, have %v", *busyRA)
+	}
+	if *brkCool < 0 {
+		return fail("-breaker-cooldown must be >= 0, have %v", *brkCool)
 	}
 	if *dataDir != "" {
 		if fi, err := os.Stat(*dataDir); err == nil && !fi.IsDir() {
@@ -192,29 +204,32 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 
 	cfg := daemon.Config{
-		ID:             trace.NodeID(*id),
-		Transport:      tr,
-		ListenAddr:     *listen,
-		PeerAddrs:      splitList(*peers),
-		InternetAccess: *internet,
-		PublishFiles:   *files,
-		FileSize:       *fileSize,
-		PieceSize:      *pieceSz,
-		Queries:        splitList(*queries),
-		FetchMatching:  *fetch,
-		HelloInterval:  *hello,
-		LivenessWindow: *window,
-		EnableBcast:    *bcastOn,
-		TitForTat:      *tft,
-		EnableFEC:      *fecOn,
-		Symbols:        symbols,
-		SymbolSize:     *symbolSz,
-		EnableDHT:      *dhtOn,
-		DHTK:           *dhtK,
-		DHTRepublish:   *dhtRepub,
-		Fault:          chaos,
-		DataDir:        *dataDir,
-		Logf:           logf,
+		ID:              trace.NodeID(*id),
+		Transport:       tr,
+		ListenAddr:      *listen,
+		PeerAddrs:       splitList(*peers),
+		InternetAccess:  *internet,
+		PublishFiles:    *files,
+		FileSize:        *fileSize,
+		PieceSize:       *pieceSz,
+		Queries:         splitList(*queries),
+		FetchMatching:   *fetch,
+		HelloInterval:   *hello,
+		LivenessWindow:  *window,
+		PeerRate:        *rate,
+		BusyRetryAfter:  *busyRA,
+		BreakerCooldown: *brkCool,
+		EnableBcast:     *bcastOn,
+		TitForTat:       *tft,
+		EnableFEC:       *fecOn,
+		Symbols:         symbols,
+		SymbolSize:      *symbolSz,
+		EnableDHT:       *dhtOn,
+		DHTK:            *dhtK,
+		DHTRepublish:    *dhtRepub,
+		Fault:           chaos,
+		DataDir:         *dataDir,
+		Logf:            logf,
 	}
 	d, err := daemon.New(cfg)
 	if err != nil {

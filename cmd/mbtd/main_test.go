@@ -56,6 +56,9 @@ func TestBadFlagCombos(t *testing.T) {
 		{"negative dht-k", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht", "-dht-k", "-2"}, "-dht-k"},
 		{"dht-republish without dht", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht-republish", "5s"}, "-dht"},
 		{"negative dht-republish", []string{"-id", "1", "-listen", "127.0.0.1:0", "-dht", "-dht-republish", "-5s"}, "-dht-republish"},
+		{"negative rate", []string{"-id", "1", "-listen", "127.0.0.1:0", "-rate", "-1"}, "-rate"},
+		{"negative busy-retry-after", []string{"-id", "1", "-listen", "127.0.0.1:0", "-busy-retry-after", "-5s"}, "-busy-retry-after"},
+		{"negative breaker-cooldown", []string{"-id", "1", "-listen", "127.0.0.1:0", "-breaker-cooldown", "-1s"}, "-breaker-cooldown"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

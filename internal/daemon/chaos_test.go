@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metadata"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func waitLong(t *testing.T, limit time.Duration, cond func() bool, what string) {
@@ -132,4 +133,113 @@ func TestChaosSoak(t *testing.T) {
 	// After the storm the daemons settle back to healthy.
 	waitLong(t, 30*time.Second, func() bool { return leech.Health().Status == "ok" },
 		"leech to report healthy after the partition heals")
+}
+
+// TestChaosFloodSoak layers overload on top of the injector: a raw
+// connection floods the seed at ~10× its per-peer admission rate while
+// the link also drops and corrupts frames. Shedding and Busy pacing
+// must hold up when the Busy frames themselves can be lost — the
+// flooder just keeps getting shed — and the legitimate download must
+// still complete.
+func TestChaosFloodSoak(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+	chaos := fault.Wrap(net, fault.Config{
+		Seed:      7,
+		Drop:      0.15,
+		Corrupt:   0.05,
+		Duplicate: 0.05,
+		DelayMax:  time.Millisecond,
+	})
+	bo := transport.Backoff{Min: 2 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: -1}
+
+	seedCfg := fastCfg(1, chaos)
+	seedCfg.ListenAddr = "seed"
+	seedCfg.InternetAccess = true
+	seedCfg.PublishFiles = 1
+	seedCfg.PeerRate = 200
+	seedCfg.BusyRetryAfter = 50 * time.Millisecond
+	seedCfg.Backoff = bo
+	seed, err := New(seedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leechCfg := fastCfg(2, chaos)
+	leechCfg.PeerAddrs = []string{"seed"}
+	leechCfg.Queries = []string{"f0"}
+	leechCfg.RetryBudget = 64
+	leechCfg.Backoff = bo
+	leech, err := New(leechCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start(ctx, seed)
+	start(ctx, leech)
+	waitLong(t, 30*time.Second, func() bool { return len(leech.Manager().Peers()) == 1 },
+		"legit hello exchange")
+
+	// The flooder redials when corruption kills its link — a determined
+	// abuser does not give up because one connection died.
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		hello := &wire.Hello{
+			From:        99,
+			Queries:     []string{"f0"},
+			Downloading: []metadata.URI{metadata.URIFor(0)},
+		}
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for floodCtx.Err() == nil {
+			conn, err := chaos.Dial(floodCtx, "seed")
+			if err != nil {
+				select {
+				case <-floodCtx.Done():
+				case <-tick.C:
+				}
+				continue
+			}
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for {
+					if _, err := conn.Recv(floodCtx); err != nil {
+						return
+					}
+				}
+			}()
+			for {
+				select {
+				case <-floodCtx.Done():
+				case <-tick.C:
+				}
+				if floodCtx.Err() != nil || conn.Send(floodCtx, hello) != nil {
+					break
+				}
+			}
+			conn.Close()
+			<-drained
+		}
+	}()
+
+	waitLong(t, 60*time.Second, func() bool { return leech.Completed(metadata.URIFor(0)) },
+		"download completion under flood + faults")
+	waitLong(t, 30*time.Second, func() bool { return seed.Stats().Transport.InboundShed > 0 },
+		"admission shedding under faults")
+
+	stopFlood()
+	<-floodDone
+	cancel()
+
+	st := seed.Stats()
+	if st.BusyReplies == 0 {
+		t.Fatalf("seed sent no Busy replies under flood: %+v", st)
+	}
+	if fs := chaos.Stats(); fs.Dropped == 0 {
+		t.Fatalf("no drops injected: %+v", fs)
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/fault"
 	"repro/internal/hello"
+	"repro/internal/limit"
 	"repro/internal/metadata"
 	"repro/internal/node"
 	"repro/internal/peer"
@@ -138,6 +139,28 @@ type Config struct {
 	// RetryBudget bounds stall re-drives per download (default
 	// DefaultRetryBudget); the spend is surfaced in Stats and /healthz.
 	RetryBudget int
+	// PeerRate, when positive, turns on per-peer admission control:
+	// each peer's inbound messages dispatch at most PeerRate per second
+	// sustained (burst 2×), a shed request is answered with a 429-style
+	// Busy frame naming the lane and a retry window, the catalog
+	// enforces the same rate on keyword queries, and the DHT on
+	// Find/Store service. Zero disables (the default), matching the
+	// pre-overload-protection behavior.
+	PeerRate float64
+	// BusyRetryAfter is the backoff window advertised in outgoing Busy
+	// frames and the pacing floor for sending them (default
+	// 2×HelloInterval). Received Busy windows are honored as advertised
+	// but clamped to 2×LivenessWindow — a longer silence is
+	// indistinguishable from churn.
+	BusyRetryAfter time.Duration
+	// BreakerCooldown is the per-address dial circuit breaker's open
+	// window: an address that fails three straight dials is not dialed
+	// again until the (jittered) cooldown passes, then one probe decides
+	// (default LivenessWindow).
+	BreakerCooldown time.Duration
+	// OutboxLen overrides the per-class outbox capacity (default 256
+	// per class); tests and benchmarks shrink it to force shedding.
+	OutboxLen int
 	// QuarantineThreshold and QuarantineBase shape sender quarantine:
 	// a peer reaching the threshold of bad signatures is ignored for
 	// QuarantineBase, doubling per repeat offense (capped at 8×) and
@@ -233,7 +256,24 @@ type Stats struct {
 	PiecesResent            uint64          `json:"pieces_resent"`
 	PiecesDroppedNoMetadata uint64          `json:"pieces_dropped_no_metadata"`
 	BadSignatures           uint64          `json:"bad_signatures"`
-	OutboxDrops             uint64          `json:"outbox_drops"`
+	// OutboxDrops is the total across classes; the per-class splits and
+	// live queue depths tell control shedding (bad) from data shedding
+	// (expected under load) apart.
+	OutboxDrops        uint64 `json:"outbox_drops"`
+	OutboxDropsControl uint64 `json:"outbox_drops_control"`
+	OutboxDropsData    uint64 `json:"outbox_drops_data"`
+	OutboxControlDepth int    `json:"outbox_control_depth"`
+	OutboxDataDepth    int    `json:"outbox_data_depth"`
+	// Busy backpressure accounting: BusyReplies counts 429-style Busy
+	// frames this daemon sent (paced, so one per peer/lane per window),
+	// BusyBackoffs counts stall re-drives skipped because every live
+	// peer was inside an advertised Busy window, QueriesShed the catalog
+	// queries refused by per-peer admission control.
+	BusyReplies  uint64 `json:"busy_replies"`
+	BusyBackoffs uint64 `json:"busy_backoffs"`
+	QueriesShed  uint64 `json:"queries_shed,omitempty"`
+	// Breakers is the dial circuit-breaker family's state.
+	Breakers *limit.SetStats `json:"breakers,omitempty"`
 	// Stall re-drive accounting: Stalls counts stall detections,
 	// Redrives the out-of-band hellos spent on them, Retries the
 	// per-download budget spend against RetryBudget.
@@ -304,14 +344,15 @@ type outMsg struct {
 
 // Daemon is a live MBT node. Construct with New, drive with Run.
 type Daemon struct {
-	cfg     Config
-	mgr     *peer.Manager
-	catalog *server.Safe  // nil unless InternetAccess
-	bcast   *bcast.Engine // nil unless EnableBcast
-	store   *store.Store  // nil unless DataDir
-	dht     *dht.Engine   // nil unless EnableDHT
-	epoch   time.Time
-	outbox  chan outMsg
+	cfg      Config
+	mgr      *peer.Manager
+	catalog  *server.Safe  // nil unless InternetAccess
+	bcast    *bcast.Engine // nil unless EnableBcast
+	store    *store.Store  // nil unless DataDir
+	dht      *dht.Engine   // nil unless EnableDHT
+	epoch    time.Time
+	out      *outbox
+	breakers *limit.Set
 
 	// DHT plumbing: the engine's RPC deadline, the run context its sends
 	// inherit, and the in-flight dial-on-demand set.
@@ -332,13 +373,22 @@ type Daemon struct {
 	offenders  map[trace.NodeID]*offender
 	restored   map[metadata.URI][]bool // pieces recovered from DataDir
 	lastPeerAt time.Time
+	// Busy bookkeeping (all under mu): peerBusy holds backoff deadlines
+	// peers advertised to us per lane; lastBusyTo paces our own Busy
+	// replies to one per peer/lane per window; lastShedAt is when
+	// admission control last shed an inbound message (health surfaces
+	// it as a degraded reason while fresh).
+	peerBusy   map[trace.NodeID]map[wire.BusyScope]time.Time
+	lastBusyTo map[trace.NodeID]map[wire.BusyScope]time.Time
+	lastShedAt time.Time
 	counters   struct {
 		piecesVerified, piecesRejected, piecesNoMeta uint64
 		piecesDuplicate, piecesResent                uint64
-		badSignatures, outboxDrops                   uint64
+		badSignatures                                uint64
 		stalls, redrives, quarantineDrops            uint64
 		piecesSuppressed, piecesSkippedHeld          uint64
 		piecesRefetched, storeErrors                 uint64
+		busySent, busyBackoffs                       uint64
 	}
 }
 
@@ -398,18 +448,30 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DHTRepublish <= 0 {
 		cfg.DHTRepublish = 10 * cfg.HelloInterval
 	}
+	if cfg.BusyRetryAfter <= 0 {
+		cfg.BusyRetryAfter = 2 * cfg.HelloInterval
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = cfg.LivenessWindow
+	}
+	if cfg.OutboxLen <= 0 {
+		cfg.OutboxLen = outboxLen
+	}
 
 	d := &Daemon{
-		cfg:       cfg,
-		epoch:     time.Now(),
-		outbox:    make(chan outMsg, outboxLen),
-		node:      node.New(cfg.ID, cfg.InternetAccess),
-		sent:      make(map[trace.NodeID]*sentState),
-		completed: make(map[metadata.URI]bool),
-		downloads: make(map[metadata.URI]*downloadState),
-		offenders: make(map[trace.NodeID]*offender),
-		restored:  make(map[metadata.URI][]bool),
+		cfg:        cfg,
+		epoch:      time.Now(),
+		out:        newOutbox(cfg.OutboxLen),
+		node:       node.New(cfg.ID, cfg.InternetAccess),
+		sent:       make(map[trace.NodeID]*sentState),
+		completed:  make(map[metadata.URI]bool),
+		downloads:  make(map[metadata.URI]*downloadState),
+		offenders:  make(map[trace.NodeID]*offender),
+		restored:   make(map[metadata.URI][]bool),
+		peerBusy:   make(map[trace.NodeID]map[wire.BusyScope]time.Time),
+		lastBusyTo: make(map[trace.NodeID]map[wire.BusyScope]time.Time),
 	}
+	d.breakers = limit.NewSet(limit.BreakerConfig{Cooldown: cfg.BreakerCooldown})
 	if cfg.DataDir != "" {
 		st, err := store.Open(store.Options{
 			Dir:          cfg.DataDir,
@@ -428,6 +490,11 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 		d.catalog = cat
+		if cfg.PeerRate > 0 {
+			// The catalog gets the same per-peer rate as the dispatch
+			// layer, counted per second over a sliding window.
+			cat.SetQueryLimit(int(cfg.PeerRate), time.Second, nil)
+		}
 		for i := 0; i < cfg.PublishFiles; i++ {
 			if err := cat.Publish(d.syntheticFile(metadata.FileID(i))); err != nil {
 				return nil, err
@@ -454,6 +521,8 @@ func New(cfg Config) (*Daemon, error) {
 			CacheCap:       cfg.DHTCacheCap,
 			Send:           d.dhtSend,
 			Verify:         d.dhtVerify,
+			ServerRate:     cfg.PeerRate,
+			BusyRetryAfter: cfg.BusyRetryAfter,
 			Logf:           cfg.Logf,
 		})
 	}
@@ -480,6 +549,9 @@ func New(cfg Config) (*Daemon, error) {
 		HandshakeTimeout: cfg.HandshakeTimeout,
 		MaxPeers:         cfg.MaxPeers,
 		Backoff:          cfg.Backoff,
+		InboundRate:      cfg.PeerRate,
+		OnShed:           d.onShed,
+		DialBreakers:     d.breakers,
 		Logf:             cfg.Logf,
 	})
 	return d, nil
@@ -707,31 +779,34 @@ func (d *Daemon) Run(ctx context.Context) error {
 }
 
 // enqueue hands a message to the send loop without blocking; overflow
-// drops it (the next hello re-drives the exchange).
-func (d *Daemon) enqueue(to trace.NodeID, msg wire.Msg) {
-	select {
-	case d.outbox <- outMsg{to: to, msg: msg}:
-	default:
-		d.mu.Lock()
-		d.counters.outboxDrops++
-		d.mu.Unlock()
-	}
+// sheds it against its frame class (the next hello re-drives the
+// exchange). The report is advisory — most callers fire and forget.
+func (d *Daemon) enqueue(to trace.NodeID, msg wire.Msg) bool {
+	return d.out.push(to, msg)
 }
 
-// sendLoop drains the outbox. It is the only place handler-originated
-// messages touch a Conn, so handlers never block on a peer's queue.
+// sendLoop drains the outbox, control frames before data frames. It is
+// the only place handler-originated messages touch a Conn, so handlers
+// never block on a peer's queue.
 func (d *Daemon) sendLoop(ctx context.Context) {
 	for {
-		select {
-		case m := <-d.outbox:
-			sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-			if err := d.mgr.Send(sctx, m.to, m.msg); err != nil {
-				d.logf("daemon %d: send %v to node %d: %v", d.cfg.ID, m.msg.Type(), m.to, err)
+		m, ok := d.out.pop()
+		if !ok {
+			select {
+			case <-d.out.wake:
+				continue
+			case <-ctx.Done():
+				return
 			}
-			cancel()
-		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
 			return
 		}
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		if err := d.mgr.Send(sctx, m.to, m.msg); err != nil {
+			d.logf("daemon %d: send %v to node %d: %v", d.cfg.ID, m.msg.Type(), m.to, err)
+		}
+		cancel()
 	}
 }
 
@@ -780,6 +855,42 @@ func (d *Daemon) sweepOnce(ctx context.Context) {
 			ds.lastProgress = wall
 		}
 	}
+	// Fold in Busy state: prune expired windows, and collect the peers
+	// still inside a piece- or query-lane window — re-drives compose
+	// with backpressure by skipping them, and when every live peer is
+	// backing us off, the re-drive itself waits without spending budget.
+	busy := make(map[trace.NodeID]bool)
+	for id, scopes := range d.peerBusy {
+		for sc, until := range scopes {
+			if wall.After(until) {
+				delete(scopes, sc)
+				continue
+			}
+			if sc == wire.BusyPiece || sc == wire.BusyQuery {
+				busy[id] = true
+			}
+		}
+		if len(scopes) == 0 {
+			delete(d.peerBusy, id)
+		}
+	}
+	for id, scopes := range d.lastBusyTo {
+		for sc, at := range scopes {
+			if wall.Sub(at) > d.cfg.BusyRetryAfter {
+				delete(scopes, sc)
+			}
+		}
+		if len(scopes) == 0 {
+			delete(d.lastBusyTo, id)
+		}
+	}
+	allBusy := len(live) > 0
+	for id := range live {
+		if !busy[id] {
+			allBusy = false
+			break
+		}
+	}
 	for _, uri := range d.node.WantedIncomplete() {
 		ds := d.downloads[uri]
 		if ds == nil {
@@ -794,6 +905,13 @@ func (d *Daemon) sweepOnce(ctx context.Context) {
 		ds.lastProgress = wall // re-arm the stall timer
 		if ds.retries >= d.cfg.RetryBudget {
 			continue // budget spent: the regular beacon keeps trying
+		}
+		if allBusy {
+			// Every live peer advertised Busy on the lanes a re-drive
+			// would hit: honor the windows instead of spending budget on
+			// a hello that would only be shed.
+			d.counters.busyBackoffs++
+			continue
 		}
 		ds.retries++
 		d.counters.redrives++
@@ -818,7 +936,7 @@ func (d *Daemon) sweepOnce(ctx context.Context) {
 	}
 	if nudge {
 		d.logf("daemon %d: download stalled; re-driving live peers", d.cfg.ID)
-		d.mgr.Broadcast(ctx)
+		d.mgr.BroadcastExcept(ctx, func(id trace.NodeID) bool { return busy[id] })
 	}
 }
 
@@ -895,7 +1013,8 @@ func (d *Daemon) Stats() Stats {
 		PiecesResent:            d.counters.piecesResent,
 		PiecesDroppedNoMetadata: d.counters.piecesNoMeta,
 		BadSignatures:           d.counters.badSignatures,
-		OutboxDrops:             d.counters.outboxDrops,
+		BusyReplies:             d.counters.busySent,
+		BusyBackoffs:            d.counters.busyBackoffs,
 		Stalls:                  d.counters.stalls,
 		Redrives:                d.counters.redrives,
 		RetryBudget:             d.cfg.RetryBudget,
@@ -926,8 +1045,17 @@ func (d *Daemon) Stats() Stats {
 	}
 	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i] < st.Quarantined[j] })
 	d.mu.Unlock()
+	dropCtl, dropData := d.out.dropCounts()
+	st.OutboxDropsControl = dropCtl
+	st.OutboxDropsData = dropData
+	st.OutboxDrops = dropCtl + dropData
+	st.OutboxControlDepth, st.OutboxDataDepth = d.out.depths()
+	if bs := d.breakers.Stats(); bs.Breakers > 0 {
+		st.Breakers = &bs
+	}
 	if d.catalog != nil {
 		st.CatalogFiles = d.catalog.Len()
+		st.QueriesShed = d.catalog.QueriesShed()
 	}
 	st.Peers = d.mgr.Table()
 	st.Transport = d.mgr.Stats()
@@ -962,6 +1090,9 @@ func (h *handler) HandleMetadata(from trace.NodeID, m *wire.Metadata) {
 }
 func (h *handler) HandlePiece(from trace.NodeID, p *wire.Piece) {
 	(*Daemon)(h).onPiece(from, p)
+}
+func (h *handler) HandleBusy(from trace.NodeID, b *wire.Busy) {
+	(*Daemon)(h).onBusy(from, b)
 }
 
 // quarantined reports (and counts) whether a message from the peer
@@ -1035,8 +1166,14 @@ func (d *Daemon) onHello(from trace.NodeID, msg *wire.Hello) {
 }
 
 // answerQuery collects matching metadata from the catalog (Internet
-// nodes) and the node's own store, best first.
+// nodes) and the node's own store, best first. Catalog admission
+// control runs first: a peer past its query rate gets one paced Busy
+// on the query lane instead of catalog work.
 func (d *Daemon) answerQuery(now simtime.Time, from trace.NodeID, q string) []wire.Msg {
+	if d.catalog != nil && !d.catalog.AllowQuery(from) {
+		d.sendBusy(from, wire.BusyQuery)
+		return nil
+	}
 	limit := d.cfg.MetadataPerHello
 	var out []wire.Msg
 	seen := make(map[metadata.URI]bool)

@@ -72,7 +72,7 @@ func TestServePiecesUnknownURI(t *testing.T) {
 // the overflow message must be dropped and counted, not block.
 func TestEnqueueOverflow(t *testing.T) {
 	d := bench(t, nil)
-	for i := 0; i < cap(d.outbox); i++ {
+	for i := 0; i < d.out.capPerClass(); i++ {
 		d.enqueue(2, &wire.Hello{From: 1})
 	}
 	if got := d.Stats().OutboxDrops; got != 0 {
@@ -276,7 +276,7 @@ func TestHealthzDegraded(t *testing.T) {
 		t.Fatalf("reasons = %v, want exactly the no-live-peers reason", h.Reasons)
 	}
 
-	for i := 0; i < cap(d.outbox); i++ {
+	for i := 0; i < d.out.capPerClass(); i++ {
 		d.enqueue(2, &wire.Hello{From: 1})
 	}
 	code, h = get()

@@ -18,8 +18,12 @@ type Health struct {
 	ID            trace.NodeID `json:"id"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Peers         int          `json:"peers"`
-	OutboxLen     int          `json:"outbox_len"`
-	OutboxCap     int          `json:"outbox_cap"`
+	// OutboxLen/OutboxCap total across classes; the per-class depths
+	// show which lane is backed up.
+	OutboxLen          int `json:"outbox_len"`
+	OutboxCap          int `json:"outbox_cap"`
+	OutboxControlDepth int `json:"outbox_control_depth"`
+	OutboxDataDepth    int `json:"outbox_data_depth"`
 	// Recovery reports what the durable store replayed at start (only
 	// with a data directory configured); WALSizeBytes is the live log
 	// size. A store that went read-only after an unrepaired write
@@ -30,24 +34,32 @@ type Health struct {
 
 // Health evaluates the daemon's liveness: degraded when it has had zero
 // live peers for longer than the liveness window (it cannot make
-// protocol progress alone) or when the outbox is saturated (handlers
-// are generating traffic faster than any link drains it, so messages
-// are being dropped on the floor).
+// protocol progress alone), when any outbox class queue is saturated
+// (handlers are generating traffic faster than any link drains it, so
+// frames of that class are being dropped on the floor), or while
+// admission control sheds inbound traffic. Every reason reads live
+// state — nothing latches, so the verdict walks back to "ok" as soon
+// as the condition clears.
 func (d *Daemon) Health() Health {
 	peers := len(d.mgr.Peers())
+	wall := time.Now()
 	d.mu.Lock()
 	lastPeer := d.lastPeerAt
+	lastShed := d.lastShedAt
 	d.mu.Unlock()
 	if lastPeer.IsZero() {
 		lastPeer = d.epoch
 	}
+	ctlDepth, dataDepth := d.out.depths()
 	h := Health{
-		Status:        "ok",
-		ID:            d.cfg.ID,
-		UptimeSeconds: time.Since(d.epoch).Seconds(),
-		Peers:         peers,
-		OutboxLen:     len(d.outbox),
-		OutboxCap:     cap(d.outbox),
+		Status:             "ok",
+		ID:                 d.cfg.ID,
+		UptimeSeconds:      time.Since(d.epoch).Seconds(),
+		Peers:              peers,
+		OutboxLen:          ctlDepth + dataDepth,
+		OutboxCap:          int(numOutClasses) * d.out.capPerClass(),
+		OutboxControlDepth: ctlDepth,
+		OutboxDataDepth:    dataDepth,
 	}
 	if peers == 0 {
 		if alone := time.Since(lastPeer); alone > d.cfg.LivenessWindow {
@@ -56,9 +68,17 @@ func (d *Daemon) Health() Health {
 					alone.Truncate(time.Millisecond), d.cfg.LivenessWindow))
 		}
 	}
-	if h.OutboxLen >= h.OutboxCap {
+	if d.out.saturated() {
 		h.Reasons = append(h.Reasons,
-			fmt.Sprintf("outbox saturated (%d/%d queued, dropping)", h.OutboxLen, h.OutboxCap))
+			fmt.Sprintf("outbox saturated (control %d, data %d of %d/class queued, dropping)",
+				ctlDepth, dataDepth, d.out.capPerClass()))
+	}
+	if !lastShed.IsZero() {
+		if since := wall.Sub(lastShed); since < d.cfg.LivenessWindow {
+			h.Reasons = append(h.Reasons,
+				fmt.Sprintf("admission control shedding inbound traffic (last shed %s ago)",
+					since.Truncate(time.Millisecond)))
+		}
 	}
 	if d.store != nil {
 		ss := d.store.Stats()

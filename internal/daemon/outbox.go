@@ -1,0 +1,162 @@
+package daemon
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// outClass partitions outbound frames by shedding priority. Control
+// frames are the small coordination messages the protocol cannot make
+// progress without (hellos, schedules, grants, acks, DHT RPCs, Busy
+// itself); data frames carry payload a later re-drive can recover
+// (pieces, broadcast pieces, symbols, metadata, DHT stores). Each class
+// gets its own bounded queue, so a payload flood can drop payload but
+// never evict coordination.
+type outClass int
+
+const (
+	classControl outClass = iota
+	classData
+	numOutClasses
+)
+
+// String names the class for counters and logs.
+func (c outClass) String() string {
+	if c == classControl {
+		return "control"
+	}
+	return "data"
+}
+
+// classOf assigns a frame to its shedding class. Raw frames classify by
+// their recorded type.
+func classOf(t wire.MsgType) outClass {
+	switch t {
+	case wire.TypePiece, wire.TypePieceBcast, wire.TypeSymbol,
+		wire.TypeMetadata, wire.TypeStoreValue:
+		return classData
+	default:
+		return classControl
+	}
+}
+
+// ring is a fixed-capacity FIFO of outbound messages.
+type ring struct {
+	buf  []outMsg
+	head int
+	n    int
+}
+
+func (r *ring) push(m outMsg) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+	return true
+}
+
+func (r *ring) pop() (outMsg, bool) {
+	if r.n == 0 {
+		return outMsg{}, false
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = outMsg{} // release the frame for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m, true
+}
+
+// outbox is the daemon's class-aware send queue: one bounded ring per
+// frame class, drained control-first by the send loop. Overflow drops
+// the new frame and counts it against its class — the next hello
+// re-drives a dropped exchange, so shedding data is safe; shedding
+// control is the signal a node is in real trouble.
+type outbox struct {
+	mu    sync.Mutex
+	q     [numOutClasses]ring
+	drops [numOutClasses]uint64
+	// wake (capacity 1) pings the send loop when a push lands in an
+	// empty outbox.
+	wake chan struct{}
+}
+
+func newOutbox(perClass int) *outbox {
+	ob := &outbox{wake: make(chan struct{}, 1)}
+	for c := range ob.q {
+		ob.q[c].buf = make([]outMsg, perClass)
+	}
+	return ob
+}
+
+// push enqueues one frame under its class; false means the class queue
+// was full and the frame was dropped (and counted).
+func (ob *outbox) push(to trace.NodeID, msg wire.Msg) bool {
+	c := classOf(msg.Type())
+	ob.mu.Lock()
+	ok := ob.q[c].push(outMsg{to: to, msg: msg})
+	if !ok {
+		ob.drops[c]++
+	}
+	ob.mu.Unlock()
+	if ok {
+		select {
+		case ob.wake <- struct{}{}:
+		default:
+		}
+	}
+	return ok
+}
+
+// pop dequeues the next frame, control before data; false means empty.
+func (ob *outbox) pop() (outMsg, bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for c := range ob.q {
+		if m, ok := ob.q[c].pop(); ok {
+			return m, true
+		}
+	}
+	return outMsg{}, false
+}
+
+// depth reports one class's current queue length.
+func (ob *outbox) depth(c outClass) int {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	return ob.q[c].n
+}
+
+// depths reports every class's queue length in one lock acquisition.
+func (ob *outbox) depths() (control, data int) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	return ob.q[classControl].n, ob.q[classData].n
+}
+
+// dropCounts snapshots the per-class drop counters.
+func (ob *outbox) dropCounts() (control, data uint64) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	return ob.drops[classControl], ob.drops[classData]
+}
+
+// capPerClass reports one class's capacity (all classes share it).
+func (ob *outbox) capPerClass() int {
+	return len(ob.q[classControl].buf)
+}
+
+// saturated reports whether any class queue is full — the health
+// endpoint's "dropping right now" signal.
+func (ob *outbox) saturated() bool {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for c := range ob.q {
+		if ob.q[c].n == len(ob.q[c].buf) {
+			return true
+		}
+	}
+	return false
+}

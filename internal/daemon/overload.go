@@ -1,0 +1,92 @@
+package daemon
+
+import (
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Overload protection glue: the peer layer's admission control calls
+// onShed when it refuses an inbound message, the handler feeds received
+// Busy frames to onBusy, and sendBusy paces the 429-style replies so a
+// flooding peer gets one Busy per lane per window instead of a Busy
+// flood of our own.
+
+// shedScope maps a shed inbound frame type to the Busy lane worth
+// advertising for it. Zero means "shed silently": responses (metadata,
+// pieces, acks) have no requester waiting on our capacity, so a Busy
+// would only add traffic.
+func shedScope(t wire.MsgType) wire.BusyScope {
+	switch t {
+	case wire.TypeHello, wire.TypeGroupHello:
+		// A hello is the request for both catalog answers and piece
+		// serves; the piece lane is the expensive one it drives.
+		return wire.BusyPiece
+	case wire.TypeFindNode, wire.TypeFindValue, wire.TypeStoreValue:
+		return wire.BusyDHT
+	case wire.TypeSymbol, wire.TypeSymbolAck:
+		return wire.BusySymbol
+	default:
+		return 0
+	}
+}
+
+// onShed runs on the shedding peer's session goroutine each time
+// admission control refuses one of its messages: note the event for
+// /healthz, and answer request-bearing frames with a paced Busy.
+func (d *Daemon) onShed(from trace.NodeID, t wire.MsgType) {
+	d.mu.Lock()
+	d.lastShedAt = time.Now()
+	d.mu.Unlock()
+	if sc := shedScope(t); sc != 0 {
+		d.sendBusy(from, sc)
+	}
+}
+
+// sendBusy enqueues one Busy frame to the peer for the lane, paced to
+// at most one per peer/lane per BusyRetryAfter window — the frame
+// already names the whole window, so repeats carry no information.
+func (d *Daemon) sendBusy(to trace.NodeID, scope wire.BusyScope) {
+	wall := time.Now()
+	d.mu.Lock()
+	if at, ok := d.lastBusyTo[to][scope]; ok && wall.Sub(at) < d.cfg.BusyRetryAfter {
+		d.mu.Unlock()
+		return
+	}
+	if d.lastBusyTo[to] == nil {
+		d.lastBusyTo[to] = make(map[wire.BusyScope]time.Time)
+	}
+	d.lastBusyTo[to][scope] = wall
+	d.counters.busySent++
+	d.mu.Unlock()
+	d.enqueue(to, &wire.Busy{
+		From:             d.cfg.ID,
+		Scope:            scope,
+		RetryAfterMillis: uint32(d.cfg.BusyRetryAfter / time.Millisecond),
+	})
+}
+
+// onBusy records a peer's advertised backoff window so re-drives and
+// piece traffic skip it until the window passes. The window is honored
+// as advertised but clamped to 2×LivenessWindow: past that, silence is
+// indistinguishable from churn and the liveness machinery takes over.
+func (d *Daemon) onBusy(from trace.NodeID, b *wire.Busy) {
+	window := b.RetryAfter()
+	if max := 2 * d.cfg.LivenessWindow; window > max {
+		window = max
+	}
+	until := time.Now().Add(window)
+	d.mu.Lock()
+	if d.peerBusy[from] == nil {
+		d.peerBusy[from] = make(map[wire.BusyScope]time.Time)
+	}
+	d.peerBusy[from][b.Scope] = until
+	d.mu.Unlock()
+	if b.Scope == wire.BusyDHT && d.dht != nil {
+		// The DHT engine keeps its own busy set so lookup shortlists can
+		// skip the contact for the round without marking it dead.
+		d.dht.MarkBusy(from, until)
+	}
+	d.logf("daemon %d: node %d busy on %v lane for %v", d.cfg.ID, from, b.Scope, window)
+}

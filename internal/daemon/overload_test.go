@@ -1,0 +1,214 @@
+package daemon
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestOutboxClassPriority: a full data queue sheds data frames while
+// control frames still enqueue, and the drain order is control first
+// regardless of push order.
+func TestOutboxClassPriority(t *testing.T) {
+	ob := newOutbox(2)
+	piece := &wire.Piece{URI: metadata.URIFor(0), Index: 0, Total: 1, Data: []byte("x")}
+	for i := 0; i < 2; i++ {
+		if !ob.push(2, piece) {
+			t.Fatalf("data push %d refused below capacity", i)
+		}
+	}
+	if ob.push(2, piece) {
+		t.Fatal("data push admitted past capacity")
+	}
+	if !ob.push(2, &wire.Hello{From: 1}) {
+		t.Fatal("control push refused while only the data class is full")
+	}
+	ctl, data := ob.dropCounts()
+	if ctl != 0 || data != 1 {
+		t.Fatalf("drops = control %d, data %d; want 0, 1", ctl, data)
+	}
+	if !ob.saturated() {
+		t.Fatal("outbox with a full class not reported saturated")
+	}
+	// Control drains before the two earlier-queued data frames.
+	m, ok := ob.pop()
+	if !ok || m.msg.Type() != wire.TypeHello {
+		t.Fatalf("first pop = %v, want the hello", m.msg)
+	}
+	for i := 0; i < 2; i++ {
+		m, ok = ob.pop()
+		if !ok || m.msg.Type() != wire.TypePiece {
+			t.Fatalf("pop %d = %v, want a piece", i, m.msg)
+		}
+	}
+	if _, ok := ob.pop(); ok {
+		t.Fatal("pop from a drained outbox returned a frame")
+	}
+}
+
+// TestHealthzSaturationRecovers: a saturated data class degrades
+// /healthz; draining it walks the verdict back to ok — the reason must
+// read live state, not latch.
+func TestHealthzSaturationRecovers(t *testing.T) {
+	d := bench(t, func(c *Config) { c.OutboxLen = 4 })
+	d.mu.Lock()
+	d.lastPeerAt = time.Now() // not the degradation under test
+	d.mu.Unlock()
+	piece := &wire.Piece{URI: metadata.URIFor(0), Index: 0, Total: 1, Data: []byte("x")}
+	for i := 0; i < d.out.capPerClass(); i++ {
+		d.enqueue(2, piece)
+	}
+	h := d.Health()
+	if h.Status != "degraded" {
+		t.Fatalf("health = %q with a saturated data class, want degraded", h.Status)
+	}
+	found := false
+	for _, r := range h.Reasons {
+		if strings.Contains(r, "saturated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons = %v, want a saturation reason", h.Reasons)
+	}
+	if h.OutboxDataDepth != d.out.capPerClass() || h.OutboxControlDepth != 0 {
+		t.Fatalf("depths = control %d, data %d", h.OutboxControlDepth, h.OutboxDataDepth)
+	}
+	for {
+		if _, ok := d.out.pop(); !ok {
+			break
+		}
+	}
+	d.mu.Lock()
+	d.lastPeerAt = time.Now()
+	d.mu.Unlock()
+	if h := d.Health(); h.Status != "ok" {
+		t.Fatalf("health = %q %v after draining, want ok", h.Status, h.Reasons)
+	}
+}
+
+// TestFloodVictimStaysLive is the overload acceptance test: one raw
+// connection floods the victim's listener at ~10× its per-peer rate
+// while a legitimate daemon downloads a file from it. The victim must
+// shed the flood (answering with Busy), go degraded while shedding,
+// serve the legitimate peer to completion throughout, and report
+// healthy again once the flood stops.
+func TestFloodVictimStaysLive(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := transport.NewLoopback()
+	defer net.Close()
+
+	victimCfg := fastCfg(1, net)
+	victimCfg.ListenAddr = "victim"
+	victimCfg.InternetAccess = true
+	victimCfg.PublishFiles = 1
+	victimCfg.PeerRate = 200 // legit traffic ~100/s fits; the flood does not
+	victimCfg.BusyRetryAfter = 50 * time.Millisecond
+	victim, err := New(victimCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legitCfg := fastCfg(2, net)
+	legitCfg.PeerAddrs = []string{"victim"}
+	legitCfg.Queries = []string{"f0"}
+	legit, err := New(legitCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start(ctx, victim)
+	start(ctx, legit)
+	waitFor(t, func() bool { return len(legit.Manager().Peers()) == 1 }, "legit hello exchange")
+
+	// The flooder speaks just enough protocol to register: a hello
+	// handshake, then hellos advertising a download every millisecond —
+	// ~1000/s against a 200/s admission rate. A reader drains the
+	// victim's replies and counts the Busy frames among them.
+	conn, err := net.Dial(ctx, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busySeen atomic.Uint64
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			m, err := conn.Recv(ctx)
+			if err != nil {
+				return
+			}
+			if m.Type() == wire.TypeBusy {
+				busySeen.Add(1)
+			}
+		}
+	}()
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		hello := &wire.Hello{
+			From:        99,
+			Queries:     []string{"f0"},
+			Downloading: []metadata.URI{metadata.URIFor(0)},
+		}
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-floodCtx.Done():
+				return
+			case <-tick.C:
+			}
+			if err := conn.Send(floodCtx, hello); err != nil {
+				return
+			}
+		}
+	}()
+
+	// While the flood runs: the victim sheds, degrades, and answers
+	// Busy — and still completes the legitimate download.
+	waitFor(t, func() bool { return victim.Stats().Transport.InboundShed > 0 }, "admission shedding")
+	waitFor(t, func() bool { return victim.Health().Status == "degraded" }, "degraded under flood")
+	waitFor(t, func() bool { return busySeen.Load() > 0 }, "flooder received Busy")
+	waitFor(t, func() bool { return legit.Completed(metadata.URIFor(0)) }, "legit download under flood")
+
+	stopFlood()
+	<-floodDone
+	conn.Close()
+	<-readerDone
+
+	st := victim.Stats()
+	if st.BusyReplies == 0 {
+		t.Fatalf("victim sent no Busy replies: %+v", st)
+	}
+	if st.Transport.BusySent == 0 {
+		t.Fatal("transport layer counted no Busy sends")
+	}
+	// Recovery: once the flood stops, the shed window ages out and the
+	// verdict walks back to ok.
+	waitFor(t, func() bool { return victim.Health().Status == "ok" }, "health recovery after flood")
+}
+
+// BenchmarkOutboxShed measures the drop path: pushing a data frame at a
+// full data queue (the hot path under overload).
+func BenchmarkOutboxShed(b *testing.B) {
+	ob := newOutbox(8)
+	piece := &wire.Piece{URI: metadata.URIFor(0), Index: 0, Total: 1, Data: []byte("x")}
+	for ob.push(2, piece) {
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ob.push(2, piece)
+	}
+}

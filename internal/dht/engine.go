@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/limit"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -50,6 +51,15 @@ type Config struct {
 	// Verify, if set, vets a received value before it is stored or
 	// returned (the host wires this to the metadata signature check).
 	Verify func(v *wire.DHTValue) bool
+	// ServerRate, when positive, caps how many FindNode/FindValue/
+	// StoreValue requests per second each sender gets served (burst
+	// 2×rate). Shed Find requests are answered with a Busy frame
+	// (scope dht) so the sender backs off; shed stores are dropped and
+	// counted. Zero disables.
+	ServerRate float64
+	// BusyRetryAfter is the backoff window advertised in Busy replies
+	// (default 4×RequestTimeout).
+	BusyRetryAfter time.Duration
 	// Now supplies the clock (defaults to time.Now; tests inject).
 	Now  func() time.Time
 	Logf func(format string, args ...any)
@@ -69,6 +79,9 @@ type Stats struct {
 	TableSize      int    `json:"table_size"`
 	StoreSize      int    `json:"store_size"`
 	StoreEvicted   uint64 `json:"store_evicted"`
+	FindsShed      uint64 `json:"finds_shed"`  // Find requests answered with Busy
+	StoresShed     uint64 `json:"stores_shed"` // StoreValue messages dropped by admission control
+	BusySkips      uint64 `json:"busy_skips"`  // lookup contacts skipped while backing off
 }
 
 // Engine is one node's DHT participant. All methods are safe for
@@ -82,6 +95,11 @@ type Engine struct {
 	nextRPC uint64
 	pending map[uint64]chan *wire.NodesReply
 	stats   Stats
+	// limiters holds per-sender server-side admission buckets;
+	// busyUntil records contacts that answered one of our requests with
+	// Busy, skipped by lookups until the deadline. Both under mu.
+	limiters  map[trace.NodeID]*limit.Bucket
+	busyUntil map[trace.NodeID]time.Time
 }
 
 // New returns an engine for the given configuration. Config.Send is
@@ -105,14 +123,19 @@ func New(cfg Config) *Engine {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.BusyRetryAfter <= 0 {
+		cfg.BusyRetryAfter = 4 * cfg.RequestTimeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	return &Engine{
-		cfg:     cfg,
-		table:   NewTable(cfg.Self, cfg.K),
-		store:   NewStore(cfg.CacheCap),
-		pending: make(map[uint64]chan *wire.NodesReply),
+		cfg:       cfg,
+		table:     NewTable(cfg.Self, cfg.K),
+		store:     NewStore(cfg.CacheCap),
+		pending:   make(map[uint64]chan *wire.NodesReply),
+		limiters:  make(map[trace.NodeID]*limit.Bucket),
+		busyUntil: make(map[trace.NodeID]time.Time),
 	}
 }
 
@@ -192,7 +215,13 @@ func (e *Engine) StoreLocal(keyword string, meta wire.Metadata, ttl time.Duratio
 func (e *Engine) Sweep() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.store.Sweep(e.cfg.Now())
+	now := e.cfg.Now()
+	for id, until := range e.busyUntil {
+		if now.After(until) {
+			delete(e.busyUntil, id)
+		}
+	}
+	return e.store.Sweep(now)
 }
 
 // HandleMessage processes one inbound DHT message and returns the reply
@@ -201,10 +230,25 @@ func (e *Engine) Sweep() int {
 func (e *Engine) HandleMessage(m wire.Msg) wire.Msg {
 	switch m := m.(type) {
 	case *wire.FindNode:
+		if !e.admitServe(m.From) {
+			return e.shedFind(m.From)
+		}
 		return e.onFind(m.From, m.FromAddr, m.RPCID, m.Target, false)
 	case *wire.FindValue:
+		if !e.admitServe(m.From) {
+			return e.shedFind(m.From)
+		}
 		return e.onFind(m.From, m.FromAddr, m.RPCID, m.Key, true)
 	case *wire.StoreValue:
+		if !e.admitServe(m.From) {
+			// Stores are fire-and-forget, so there is no reply channel
+			// to carry a Busy: the shed is counted and the record waits
+			// for the sender's next republish.
+			e.mu.Lock()
+			e.stats.StoresShed++
+			e.mu.Unlock()
+			return nil
+		}
 		e.onStore(m)
 		return nil
 	case *wire.NodesReply:
@@ -213,6 +257,65 @@ func (e *Engine) HandleMessage(m wire.Msg) wire.Msg {
 	default:
 		return nil
 	}
+}
+
+// admitServe charges one token against from's server-side admission
+// bucket; with no ServerRate configured everything is admitted. The
+// limiter map is bounded: a flood of fabricated sender IDs resets it
+// rather than growing it without limit.
+func (e *Engine) admitServe(from trace.NodeID) bool {
+	if e.cfg.ServerRate <= 0 {
+		return true
+	}
+	e.mu.Lock()
+	if len(e.limiters) > 4096 {
+		e.limiters = make(map[trace.NodeID]*limit.Bucket)
+	}
+	bk := e.limiters[from]
+	if bk == nil {
+		bk = limit.NewBucket(e.cfg.ServerRate, 2*e.cfg.ServerRate, limit.Clock(e.cfg.Now))
+		e.limiters[from] = bk
+	}
+	e.mu.Unlock()
+	return bk.Allow()
+}
+
+// shedFind counts a shed Find request and builds its Busy reply.
+func (e *Engine) shedFind(from trace.NodeID) wire.Msg {
+	e.mu.Lock()
+	e.stats.FindsShed++
+	e.mu.Unlock()
+	e.cfg.Logf("dht: shedding find from n%d (over %v/s)", from, e.cfg.ServerRate)
+	return &wire.Busy{
+		From:             e.cfg.Self,
+		Scope:            wire.BusyDHT,
+		RetryAfterMillis: uint32(e.cfg.BusyRetryAfter / time.Millisecond),
+	}
+}
+
+// MarkBusy records that a contact answered us with Busy (scope dht):
+// lookups skip it until the deadline instead of counting it failed —
+// an overloaded node is not a dead node.
+func (e *Engine) MarkBusy(id trace.NodeID, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.busyUntil[id] = until
+}
+
+// isBusy reports whether a contact is inside its advertised backoff
+// window, dropping the entry once it expires.
+func (e *Engine) isBusy(id trace.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	until, ok := e.busyUntil[id]
+	if !ok {
+		return false
+	}
+	if e.cfg.Now().After(until) {
+		delete(e.busyUntil, id)
+		return false
+	}
+	return true
 }
 
 func (e *Engine) onFind(from trace.NodeID, fromAddr string, rpcID uint64, key Key, wantValue bool) wire.Msg {
@@ -342,7 +445,18 @@ func (e *Engine) Lookup(ctx context.Context, key Key, wantValue bool) (*LookupRe
 			reply *wire.NodesReply
 		}
 		outcomes := make(chan outcome, len(batch))
+		launched := 0
 		for _, c := range batch {
+			if e.isBusy(c.ID) {
+				// A Busy contact is skipped for the rest of the round,
+				// not marked dead: no RPC, no Forget.
+				short.skipped(c)
+				e.mu.Lock()
+				e.stats.BusySkips++
+				e.mu.Unlock()
+				continue
+			}
+			launched++
 			go func(c Contact) {
 				r, err := e.rpc(ctx, c, key, wantValue)
 				if err != nil {
@@ -351,9 +465,16 @@ func (e *Engine) Lookup(ctx context.Context, key Key, wantValue bool) (*LookupRe
 				outcomes <- outcome{from: c, reply: r}
 			}(c)
 		}
-		for range batch {
+		for i := 0; i < launched; i++ {
 			o := <-outcomes
 			if o.reply == nil {
+				// An in-flight RPC can lose the race with a Busy frame:
+				// the contact shed our request rather than ignoring it,
+				// so honor the backoff instead of declaring it dead.
+				if e.isBusy(o.from.ID) {
+					short.skipped(o.from)
+					continue
+				}
 				short.failed(o.from)
 				e.Forget(o.from.ID)
 				continue
@@ -477,7 +598,7 @@ type shortlist struct {
 type slEntry struct {
 	c     Contact
 	key   Key
-	state int // 0 unqueried, 1 in-flight, 2 answered, 3 failed
+	state int // 0 unqueried, 1 in-flight, 2 answered, 3 failed, 4 busy-skipped
 }
 
 func newShortlist(target Key, k int) *shortlist {
@@ -512,12 +633,14 @@ func (s *shortlist) add(cs ...Contact) {
 
 // nextBatch marks and returns up to n unqueried contacts among the K
 // closest non-failed candidates; an empty batch means convergence.
+// Busy-skipped contacts (state 4) count like failures here: out of the
+// round, but still alive in the routing table.
 func (s *shortlist) nextBatch(n int) []Contact {
 	var batch []Contact
 	live := 0
 	for _, id := range s.order {
 		e := s.info[id]
-		if e.state == 3 {
+		if e.state >= 3 {
 			continue
 		}
 		live++
@@ -537,6 +660,7 @@ func (s *shortlist) nextBatch(n int) []Contact {
 
 func (s *shortlist) answered(c Contact) { s.setState(c, 2) }
 func (s *shortlist) failed(c Contact)   { s.setState(c, 3) }
+func (s *shortlist) skipped(c Contact)  { s.setState(c, 4) }
 
 func (s *shortlist) setState(c Contact, st int) {
 	if e, ok := s.info[c.ID]; ok {

@@ -1,0 +1,246 @@
+package limit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit breaker's admission state.
+type BreakerState int
+
+const (
+	// Closed admits every attempt (the healthy state).
+	Closed BreakerState = iota
+	// Open fast-fails every attempt until the cooldown deadline.
+	Open
+	// HalfOpen admits exactly one probe; its outcome decides whether
+	// the breaker closes again or re-opens.
+	HalfOpen
+)
+
+// String implements fmt.Stringer for logs and health output.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker (and, via Set, a keyed family
+// of them).
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip the breaker
+	// (default 3).
+	Failures int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Jitter spreads each open deadline uniformly over
+	// [Cooldown, Cooldown*(1+Jitter)] so a fleet of breakers tripped by
+	// the same outage does not probe in lockstep. Default 0.25;
+	// negative disables jitter.
+	Jitter float64
+	// Now injects the clock (nil = time.Now).
+	Now Clock
+	// Seed fixes the jitter stream for deterministic tests (0 = fixed
+	// default seed; Set derives a per-key seed from it).
+	Seed uint64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.25
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x6c696d6974 // "limit"
+	}
+	return c
+}
+
+// Breaker is a small closed/open/half-open circuit breaker intended to
+// gate dial attempts to a single address. It is safe for concurrent
+// use.
+type Breaker struct {
+	mu         sync.Mutex
+	cfg        BreakerConfig
+	state      BreakerState
+	fails      int       // consecutive failures while closed
+	until      time.Time // open deadline
+	rng        uint64    // splitmix64 state for jittered cooldowns
+	suppressed atomic.Uint64
+	opens      atomic.Uint64
+}
+
+// NewBreaker returns a closed breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, rng: cfg.Seed}
+}
+
+// Allow reports whether an attempt may proceed. While open it returns
+// false until the cooldown deadline passes, then admits exactly one
+// half-open probe; further calls fail until Success or Failure settles
+// the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Before(b.until) {
+			b.suppressed.Add(1)
+			return false
+		}
+		b.state = HalfOpen
+		return true
+	default: // HalfOpen: a probe is already in flight
+		b.suppressed.Add(1)
+		return false
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+}
+
+// Failure records a failed attempt. While closed it counts toward the
+// trip threshold; a half-open probe failure re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.open()
+		}
+	}
+}
+
+// open trips the breaker with a jittered cooldown. Caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.fails = 0
+	b.until = b.cfg.Now().Add(b.jitteredCooldown())
+	b.opens.Add(1)
+}
+
+// jitteredCooldown draws Cooldown*(1+u*Jitter) with u uniform in [0,1)
+// from a splitmix64 stream. Caller holds b.mu.
+func (b *Breaker) jitteredCooldown() time.Duration {
+	d := b.cfg.Cooldown
+	if b.cfg.Jitter <= 0 {
+		return d
+	}
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return d + time.Duration(u*b.cfg.Jitter*float64(d))
+}
+
+// State reports the breaker's current admission state, resolving an
+// expired open deadline to half-open.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && !b.cfg.Now().Before(b.until) {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Suppressed reports how many attempts Allow has fast-failed.
+func (b *Breaker) Suppressed() uint64 { return b.suppressed.Load() }
+
+// Opens reports how many times the breaker has tripped.
+func (b *Breaker) Opens() uint64 { return b.opens.Load() }
+
+// Set is a keyed family of breakers sharing one configuration —
+// typically one breaker per dial address. Keys are created on first
+// use.
+type Set struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*Breaker
+}
+
+// NewSet returns an empty breaker family.
+func NewSet(cfg BreakerConfig) *Set {
+	return &Set{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for key, creating it (closed) on first use.
+func (s *Set) Get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[key]; ok {
+		return b
+	}
+	cfg := s.cfg
+	// Derive a per-key jitter seed so sibling breakers do not share a
+	// cooldown stream (FNV-1a over the key).
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	cfg.Seed ^= h
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	b := NewBreaker(cfg)
+	s.m[key] = b
+	return b
+}
+
+// SetStats is a point-in-time aggregate over a Set, shaped for /stats
+// JSON.
+type SetStats struct {
+	Breakers   int    `json:"breakers"`
+	Open       int    `json:"open"`
+	Suppressed uint64 `json:"suppressed"`
+	Opens      uint64 `json:"opens"`
+}
+
+// Stats aggregates the family's current state and counters.
+func (s *Set) Stats() SetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st SetStats
+	st.Breakers = len(s.m)
+	for _, b := range s.m {
+		if b.State() == Open {
+			st.Open++
+		}
+		st.Suppressed += b.Suppressed()
+		st.Opens += b.Opens()
+	}
+	return st
+}

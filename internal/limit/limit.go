@@ -1,0 +1,155 @@
+// Package limit provides the small admission-control primitives the
+// overload-protection layer is built from: a token-bucket rate limiter,
+// a sliding-window counter, and a dial circuit breaker. Everything is
+// stdlib-only and takes an injectable clock so tests (and the
+// deterministic swarm harness) can drive time by hand.
+package limit
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source a limiter samples. A nil Clock means
+// time.Now.
+type Clock func() time.Time
+
+// Bucket is a classic token bucket: capacity Burst tokens, refilled at
+// Rate tokens per second. Allow spends one token when available. The
+// zero value is unusable; construct with NewBucket.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    Clock
+}
+
+// NewBucket returns a bucket refilling at rate tokens/second with the
+// given capacity. A non-positive burst defaults to 2×rate (floor 1) so
+// short legitimate spikes ride through. The bucket starts full.
+func NewBucket(rate, burst float64, now Clock) *Bucket {
+	if burst <= 0 {
+		burst = 2 * rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// refill advances the bucket to the clock's current reading. Caller
+// holds b.mu. Time moving backwards (clock skew) is treated as zero
+// elapsed, never as a drain.
+func (b *Bucket) refill() {
+	t := b.now()
+	elapsed := t.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+}
+
+// Allow spends one token if available.
+func (b *Bucket) Allow() bool { return b.AllowN(1) }
+
+// AllowN spends n tokens if all are available; partial spends never
+// happen, so the balance cannot go negative.
+func (b *Bucket) AllowN(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Tokens reports the current balance after refill (test/diagnostic
+// hook).
+func (b *Bucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	return b.tokens
+}
+
+// RetryAfter estimates how long until one token is available. Zero
+// means a call to Allow would succeed now.
+func (b *Bucket) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Window is a sliding-window counter: at most Limit events inside any
+// trailing Span. It keeps the event timestamps, so it is exact (no
+// fixed-bucket boundary error) and sized for per-peer limits, not for
+// millions of events per window.
+type Window struct {
+	mu    sync.Mutex
+	limit int
+	span  time.Duration
+	now   Clock
+	marks []time.Time
+}
+
+// NewWindow returns a sliding-window limiter admitting limit events per
+// span.
+func NewWindow(limit int, span time.Duration, now Clock) *Window {
+	if limit < 1 {
+		limit = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Window{limit: limit, span: span, now: now}
+}
+
+// Allow records an event if the trailing window has room.
+func (w *Window) Allow() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := w.now()
+	w.prune(t)
+	if len(w.marks) >= w.limit {
+		return false
+	}
+	w.marks = append(w.marks, t)
+	return true
+}
+
+// Len reports how many events are inside the current window.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.prune(w.now())
+	return len(w.marks)
+}
+
+// prune drops marks older than span. Caller holds w.mu.
+func (w *Window) prune(t time.Time) {
+	cut := t.Add(-w.span)
+	i := 0
+	for i < len(w.marks) && !w.marks[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		w.marks = append(w.marks[:0], w.marks[i:]...)
+	}
+}

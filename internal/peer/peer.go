@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/hello"
+	"repro/internal/limit"
 	"repro/internal/metadata"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -85,6 +86,14 @@ type DHTHandler interface {
 	HandleDHT(from trace.NodeID, msg wire.Msg)
 }
 
+// BusyHandler is the optional extension a Handler implements to receive
+// *wire.Busy backpressure frames. A Handler without it drops them (the
+// manager still counts them), so overload-aware and overload-oblivious
+// daemons interoperate.
+type BusyHandler interface {
+	HandleBusy(from trace.NodeID, b *wire.Busy)
+}
+
 // Config parameterizes a Manager.
 type Config struct {
 	// Self is this node's identity, announced in every hello.
@@ -119,6 +128,24 @@ type Config struct {
 	Shards int
 	// Backoff shapes Connect's redial schedule.
 	Backoff transport.Backoff
+	// InboundRate, when positive, caps each peer's inbound message
+	// dispatch at this many messages per second sustained (admission
+	// control). Hellos still refresh liveness before the limiter — a
+	// flooder is shed, not expired — and Busy frames bypass it entirely
+	// so backpressure always gets through. Zero disables.
+	InboundRate float64
+	// InboundBurst is the bucket capacity behind InboundRate (default
+	// 2×rate), absorbing legitimate short spikes.
+	InboundBurst float64
+	// OnShed, when set, is called once per message dropped by admission
+	// control, from the shedding peer's session goroutine — the
+	// daemon's hook for answering Busy. Must not block.
+	OnShed func(from trace.NodeID, t wire.MsgType)
+	// DialBreakers, when non-nil, gates outbound dials with one circuit
+	// breaker per address: ConnectOnce fast-fails while an address's
+	// breaker is open, and Connect's backoff loop skips dial attempts
+	// for the cooldown instead of hammering a dead address.
+	DialBreakers *limit.Set
 	// Logf, when set, receives one line per connection event.
 	Logf func(format string, args ...any)
 }
@@ -157,6 +184,15 @@ type Stats struct {
 	// PeersRejected counts handshakes refused because the peer table was
 	// at MaxPeers capacity.
 	PeersRejected uint64 `json:"peers_rejected"`
+	// InboundShed counts messages dropped by per-peer admission control.
+	InboundShed uint64 `json:"inbound_shed"`
+	// BusySent / BusyRecv count 429-style backpressure frames.
+	BusySent uint64 `json:"busy_sent"`
+	BusyRecv uint64 `json:"busy_recv"`
+	// DialsSuppressed counts ConnectOnce attempts fast-failed by an
+	// open dial circuit breaker (Connect-loop suppressions are counted
+	// by the breakers themselves; see limit.SetStats).
+	DialsSuppressed uint64 `json:"dials_suppressed"`
 }
 
 // counters is the lock-free backing for Stats.
@@ -179,6 +215,10 @@ type counters struct {
 	handshakeFail atomic.Uint64
 	flaps         atomic.Uint64
 	peersRejected atomic.Uint64
+	inboundShed   atomic.Uint64
+	busySent      atomic.Uint64
+	busyRecv      atomic.Uint64
+	dialsSuppr    atomic.Uint64
 }
 
 // ErrUnknownPeer reports a Send to a peer with no live session.
@@ -187,6 +227,10 @@ var ErrUnknownPeer = errors.New("peer: no live session")
 // ErrTableFull reports a handshake rejected because the peer table is at
 // Config.MaxPeers capacity.
 var ErrTableFull = errors.New("peer: table full")
+
+// ErrDialSuppressed reports a dial fast-failed because the address's
+// circuit breaker is open.
+var ErrDialSuppressed = errors.New("peer: dial suppressed by open circuit breaker")
 
 // session is one handshaken connection.
 type session struct {
@@ -210,6 +254,10 @@ type shard struct {
 	byPeer    map[trace.NodeID]map[uint64]*session
 	lastHello map[trace.NodeID]time.Time
 	flaps     map[trace.NodeID]*flapInfo
+	// limiters holds each registered peer's inbound admission bucket;
+	// entries die with the peer (unregister/expire), so a churning
+	// flooder cannot grow the map without also holding table slots.
+	limiters map[trace.NodeID]*limit.Bucket
 }
 
 func newShard() *shard {
@@ -217,6 +265,7 @@ func newShard() *shard {
 		byPeer:    make(map[trace.NodeID]map[uint64]*session),
 		lastHello: make(map[trace.NodeID]time.Time),
 		flaps:     make(map[trace.NodeID]*flapInfo),
+		limiters:  make(map[trace.NodeID]*limit.Bucket),
 	}
 }
 
@@ -302,7 +351,7 @@ func (m *Manager) Run(ctx context.Context) error {
 		case <-t.C:
 			m.expire(time.Now())
 			if !m.paused.Load() {
-				m.broadcastHello(ctx)
+				m.broadcastExcept(ctx, nil)
 			}
 		case <-ctx.Done():
 			return ctx.Err()
@@ -356,8 +405,12 @@ func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr stri
 		<-timer.C
 	}
 	defer timer.Stop()
+	backoff := m.cfg.Backoff
+	if m.cfg.DialBreakers != nil {
+		backoff.Breaker = m.cfg.DialBreakers.Get(addr)
+	}
 	for {
-		conn, err := transport.DialBackoff(ctx, tr, addr, m.cfg.Backoff)
+		conn, err := transport.DialBackoff(ctx, tr, addr, backoff)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -397,10 +450,31 @@ func (m *Manager) Connect(ctx context.Context, tr transport.Transport, addr stri
 // dial-on-demand primitive: a lookup that learns a contact outside the
 // current peer set brings up a transient link just long enough to
 // exchange RPCs, and lets liveness expiry reap it.
+// A per-address circuit breaker (Config.DialBreakers) gates the dial:
+// while the breaker is open — the address failed repeatedly and its
+// cooldown has not elapsed — ConnectOnce fast-fails with
+// ErrDialSuppressed instead of hammering a dead contact, which is what
+// stops DHT dial-on-demand storms.
 func (m *Manager) ConnectOnce(ctx context.Context, tr transport.Transport, addr string) error {
+	var br *limit.Breaker
+	if m.cfg.DialBreakers != nil {
+		br = m.cfg.DialBreakers.Get(addr)
+		if !br.Allow() {
+			m.ctrs.dialsSuppr.Add(1)
+			return fmt.Errorf("%s: %w", addr, ErrDialSuppressed)
+		}
+	}
 	conn, err := tr.Dial(ctx, addr)
 	if err != nil {
+		// A canceled context is our doing, not evidence the address is
+		// dead; only real dial failures feed the breaker.
+		if br != nil && ctx.Err() == nil {
+			br.Failure()
+		}
 		return err
+	}
+	if br != nil {
+		br.Success()
 	}
 	m.ctrs.dials.Add(1)
 	m.runSession(ctx, conn, false)
@@ -498,6 +572,7 @@ func (m *Manager) unregister(s *session) {
 		if len(set) == 0 {
 			delete(sh.byPeer, s.peer)
 			delete(sh.lastHello, s.peer)
+			delete(sh.limiters, s.peer)
 			m.peerCount.Add(-1)
 		}
 	}
@@ -515,13 +590,25 @@ func (m *Manager) unregister(s *session) {
 	s.conn.Close()
 }
 
-// deliver updates liveness and dispatches one message.
+// deliver updates liveness and dispatches one message through
+// admission control.
 func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 	if m.paused.Load() {
 		return // radio off: the message was never heard
 	}
-	switch v := msg.(type) {
-	case *wire.Hello:
+	if b, ok := msg.(*wire.Busy); ok {
+		// Backpressure bypasses the limiter: a peer shedding our
+		// traffic must always be able to tell us so.
+		m.ctrs.busyRecv.Add(1)
+		if bh, ok := m.cfg.Handler.(BusyHandler); ok {
+			bh.HandleBusy(from, b)
+		}
+		return
+	}
+	if _, ok := msg.(*wire.Hello); ok {
+		// Liveness refresh happens before admission control: shedding a
+		// flooder's hellos keeps it cheap, but must not expire it from
+		// the table — a shed peer is overloaded-away, not gone.
 		sh := m.shardFor(from)
 		sh.mu.Lock()
 		// Refresh liveness only for registered peers: a hello racing a
@@ -532,6 +619,16 @@ func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 			sh.lastHello[from] = time.Now()
 		}
 		sh.mu.Unlock()
+	}
+	if !m.admit(from) {
+		m.ctrs.inboundShed.Add(1)
+		if m.cfg.OnShed != nil {
+			m.cfg.OnShed(from, msg.Type())
+		}
+		return
+	}
+	switch v := msg.(type) {
+	case *wire.Hello:
 		m.ctrs.hellosRecv.Add(1)
 		if m.cfg.Handler != nil {
 			m.cfg.Handler.HandleHello(from, v)
@@ -558,6 +655,23 @@ func (m *Manager) deliver(from trace.NodeID, msg wire.Msg) {
 			gh.HandleGroup(from, msg)
 		}
 	}
+}
+
+// admit charges one token against from's inbound bucket. With no
+// InboundRate configured everything is admitted.
+func (m *Manager) admit(from trace.NodeID) bool {
+	if m.cfg.InboundRate <= 0 {
+		return true
+	}
+	sh := m.shardFor(from)
+	sh.mu.Lock()
+	bk := sh.limiters[from]
+	if bk == nil {
+		bk = limit.NewBucket(m.cfg.InboundRate, m.cfg.InboundBurst, nil)
+		sh.limiters[from] = bk
+	}
+	sh.mu.Unlock()
+	return bk.Allow()
 }
 
 // pick returns the newest session for peer id, the one Send uses. The
@@ -593,6 +707,8 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 		m.ctrs.piecesSent.Add(1)
 	case wire.TypeFindNode, wire.TypeFindValue, wire.TypeStoreValue, wire.TypeNodesReply:
 		m.ctrs.dhtSent.Add(1)
+	case wire.TypeBusy:
+		m.ctrs.busySent.Add(1)
 	default:
 		m.ctrs.groupSent.Add(1)
 	}
@@ -602,21 +718,32 @@ func (m *Manager) Send(ctx context.Context, id trace.NodeID, msg wire.Msg) error
 // Broadcast beacons an out-of-band hello to every live peer right now,
 // without waiting for the next tick — the daemon's re-drive nudge when
 // a download stalls.
-func (m *Manager) Broadcast(ctx context.Context) { m.broadcastHello(ctx) }
+func (m *Manager) Broadcast(ctx context.Context) { m.broadcastExcept(ctx, nil) }
 
-// broadcastHello beacons to every live peer (once per peer, even with
+// BroadcastExcept is Broadcast with a skip predicate: peers for which
+// skip returns true are left out of the fan-out. The daemon uses it to
+// honor Busy backpressure — a stall re-drive must not re-hammer the
+// very peer that just asked for room to breathe.
+func (m *Manager) BroadcastExcept(ctx context.Context, skip func(trace.NodeID) bool) {
+	m.broadcastExcept(ctx, skip)
+}
+
+// broadcastExcept beacons to every live peer (once per peer, even with
 // duplicate sessions). The beacon is built and encoded exactly once and
 // fanned out as a pre-encoded frame: with hundreds of live peers the
 // per-tick cost is one serialization, not one per peer, which keeps the
 // thousand-node hello path linear in links instead of quadratic in
 // bytes encoded.
-func (m *Manager) broadcastHello(ctx context.Context) {
+func (m *Manager) broadcastExcept(ctx context.Context, skip func(trace.NodeID) bool) {
 	peers := m.Peers()
 	if len(peers) == 0 {
 		return
 	}
 	raw := wire.NewRaw(m.helloMsg())
 	for _, id := range peers {
+		if skip != nil && skip(id) {
+			continue
+		}
 		if err := m.Send(ctx, id, raw); err != nil {
 			m.logf("peer: hello to node %d failed: %v", id, err)
 		}
@@ -643,6 +770,7 @@ func (m *Manager) expire(now time.Time) {
 				m.peerCount.Add(-1)
 			}
 			delete(sh.lastHello, id)
+			delete(sh.limiters, id)
 			m.ctrs.expiries.Add(1)
 		}
 		for id, fi := range sh.flaps {
@@ -708,24 +836,28 @@ func (m *Manager) Table() []Info {
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		HellosSent:    m.ctrs.hellosSent.Load(),
-		HellosRecv:    m.ctrs.hellosRecv.Load(),
-		MetadataSent:  m.ctrs.metadataSent.Load(),
-		MetadataRecv:  m.ctrs.metadataRecv.Load(),
-		PiecesSent:    m.ctrs.piecesSent.Load(),
-		PiecesRecv:    m.ctrs.piecesRecv.Load(),
-		GroupSent:     m.ctrs.groupSent.Load(),
-		GroupRecv:     m.ctrs.groupRecv.Load(),
-		DHTSent:       m.ctrs.dhtSent.Load(),
-		DHTRecv:       m.ctrs.dhtRecv.Load(),
-		Accepts:       m.ctrs.accepts.Load(),
-		Dials:         m.ctrs.dials.Load(),
-		Reconnects:    m.ctrs.reconnects.Load(),
-		Drops:         m.ctrs.drops.Load(),
-		Expiries:      m.ctrs.expiries.Load(),
-		HandshakeFail: m.ctrs.handshakeFail.Load(),
-		Flaps:         m.ctrs.flaps.Load(),
-		PeersRejected: m.ctrs.peersRejected.Load(),
+		HellosSent:      m.ctrs.hellosSent.Load(),
+		HellosRecv:      m.ctrs.hellosRecv.Load(),
+		MetadataSent:    m.ctrs.metadataSent.Load(),
+		MetadataRecv:    m.ctrs.metadataRecv.Load(),
+		PiecesSent:      m.ctrs.piecesSent.Load(),
+		PiecesRecv:      m.ctrs.piecesRecv.Load(),
+		GroupSent:       m.ctrs.groupSent.Load(),
+		GroupRecv:       m.ctrs.groupRecv.Load(),
+		DHTSent:         m.ctrs.dhtSent.Load(),
+		DHTRecv:         m.ctrs.dhtRecv.Load(),
+		Accepts:         m.ctrs.accepts.Load(),
+		Dials:           m.ctrs.dials.Load(),
+		Reconnects:      m.ctrs.reconnects.Load(),
+		Drops:           m.ctrs.drops.Load(),
+		Expiries:        m.ctrs.expiries.Load(),
+		HandshakeFail:   m.ctrs.handshakeFail.Load(),
+		Flaps:           m.ctrs.flaps.Load(),
+		PeersRejected:   m.ctrs.peersRejected.Load(),
+		InboundShed:     m.ctrs.inboundShed.Load(),
+		BusySent:        m.ctrs.busySent.Load(),
+		BusyRecv:        m.ctrs.busyRecv.Load(),
+		DialsSuppressed: m.ctrs.dialsSuppr.Load(),
 	}
 }
 
@@ -742,6 +874,7 @@ func (m *Manager) Close() {
 		}
 		sh.byPeer = make(map[trace.NodeID]map[uint64]*session)
 		sh.lastHello = make(map[trace.NodeID]time.Time)
+		sh.limiters = make(map[trace.NodeID]*limit.Bucket)
 		sh.mu.Unlock()
 	}
 	m.peerCount.Store(0)

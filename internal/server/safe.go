@@ -2,7 +2,10 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/limit"
 	"repro/internal/metadata"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -19,6 +22,16 @@ import (
 type Safe struct {
 	mu sync.Mutex
 	s  *Server
+
+	// Query admission control (SetQueryLimit): one sliding window per
+	// requesting node, guarded separately so shedding never waits on a
+	// catalog operation in flight.
+	limMu       sync.Mutex
+	queryLim    map[trace.NodeID]*limit.Window
+	queryRate   int
+	querySpan   time.Duration
+	queryClock  limit.Clock
+	queriesShed atomic.Uint64
 }
 
 // NewSafe wraps an empty server; internetNodes as in New.
@@ -75,6 +88,53 @@ func (c *Safe) Expire(now simtime.Time) int {
 	defer c.mu.Unlock()
 	return c.s.Expire(now)
 }
+
+// SetQueryLimit installs per-peer query admission control: each node
+// gets at most rate catalog queries per span; excess queries should be
+// refused (AllowQuery returns false) and answered with Busy
+// backpressure by the host. A nil clock means time.Now; rate <= 0
+// removes the limit.
+func (c *Safe) SetQueryLimit(rate int, span time.Duration, clock limit.Clock) {
+	c.limMu.Lock()
+	defer c.limMu.Unlock()
+	if rate <= 0 {
+		c.queryLim = nil
+		c.queryRate = 0
+		return
+	}
+	c.queryRate = rate
+	c.querySpan = span
+	c.queryClock = clock
+	c.queryLim = make(map[trace.NodeID]*limit.Window)
+}
+
+// AllowQuery charges one query against node's window. With no limit
+// installed every query is admitted. The window map is bounded: a flood
+// of fabricated node IDs resets it rather than growing without limit.
+func (c *Safe) AllowQuery(node trace.NodeID) bool {
+	c.limMu.Lock()
+	if c.queryLim == nil {
+		c.limMu.Unlock()
+		return true
+	}
+	if len(c.queryLim) > 4096 {
+		c.queryLim = make(map[trace.NodeID]*limit.Window)
+	}
+	w := c.queryLim[node]
+	if w == nil {
+		w = limit.NewWindow(c.queryRate, c.querySpan, c.queryClock)
+		c.queryLim[node] = w
+	}
+	c.limMu.Unlock()
+	if !w.Allow() {
+		c.queriesShed.Add(1)
+		return false
+	}
+	return true
+}
+
+// QueriesShed reports how many queries admission control has refused.
+func (c *Safe) QueriesShed() uint64 { return c.queriesShed.Load() }
 
 // Query returns clones of up to limit best-matched records.
 func (c *Safe) Query(now simtime.Time, query string, limit int) []*metadata.Metadata {

@@ -3,6 +3,7 @@ package server
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/metadata"
 	"repro/internal/simtime"
@@ -149,5 +150,41 @@ func TestSafeCloneIsolation(t *testing.T) {
 	}
 	if m.Name != "file story" || m.Description != "a story file" {
 		t.Fatalf("catalog record was mutated through a handed-out clone: %+v", m)
+	}
+}
+
+// TestSafeQueryLimit exercises per-peer query admission: node A burning
+// its window must not shed node B, and the window slides open again.
+func TestSafeQueryLimit(t *testing.T) {
+	c, err := NewSafe(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(5000, 0)
+	c.SetQueryLimit(3, time.Second, func() time.Time { return clock })
+	for i := 0; i < 3; i++ {
+		if !c.AllowQuery(1) {
+			t.Fatalf("query %d from node 1 denied under limit", i)
+		}
+	}
+	if c.AllowQuery(1) {
+		t.Fatal("node 1 allowed past its window")
+	}
+	if !c.AllowQuery(2) {
+		t.Fatal("node 2 shed by node 1's flood")
+	}
+	if got := c.QueriesShed(); got != 1 {
+		t.Fatalf("QueriesShed = %d, want 1", got)
+	}
+	clock = clock.Add(time.Second + time.Millisecond)
+	if !c.AllowQuery(1) {
+		t.Fatal("node 1 still shed after its window slid")
+	}
+	// Dropping the limit admits everyone again.
+	c.SetQueryLimit(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if !c.AllowQuery(1) {
+			t.Fatal("unlimited catalog shed a query")
+		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/daemon"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Defaults.
@@ -116,6 +118,11 @@ type Config struct {
 	// SymbolSize is the coded-symbol payload size with EnableFEC
 	// (default 256, i.e. 4 source symbols per default-size piece).
 	SymbolSize int
+	// PeerRate, when positive, arms every node's overload protection:
+	// per-peer inbound admission at this rate (messages/second), Busy
+	// backpressure on shed requests, and catalog/DHT service limits —
+	// the overload scenario's lever.
+	PeerRate float64
 	// Fault, when non-zero, wraps every node's transport in a chaos
 	// injector with a per-node seed derived from Seed.
 	Fault fault.Config
@@ -223,6 +230,9 @@ type retiredStats struct {
 	dhtStoresSent, dhtStoresRecv, dhtRPCs        uint64
 	symbolsSent, symbolsRecv, symbolsRelayed     uint64
 	fecDecodes, pieceBcastsSent, pieceBcastsRecv uint64
+	// Overload-protection counters.
+	inboundShed, busyReplies, queriesShed uint64
+	outboxDropsControl, outboxDropsData   uint64
 }
 
 // Harness runs one swarm. Construct with New, boot with Start, script
@@ -309,6 +319,7 @@ func New(cfg Config) (*Harness, error) {
 			LivenessWindow: cfg.LivenessWindow,
 			MaxPeers:       cfg.MaxPeers,
 			RetryBudget:    cfg.RetryBudget,
+			PeerRate:       cfg.PeerRate,
 			FetchMatching:  true,
 			Backoff: transport.Backoff{
 				Min:    cfg.HelloInterval / 4,
@@ -479,6 +490,11 @@ func (h *Harness) Kill(id trace.NodeID) error {
 	ns.retired.piecesDuplicate += st.PiecesDuplicate
 	ns.retired.piecesResent += st.PiecesResent
 	ns.retired.outboxDrops += st.OutboxDrops
+	ns.retired.outboxDropsControl += st.OutboxDropsControl
+	ns.retired.outboxDropsData += st.OutboxDropsData
+	ns.retired.inboundShed += st.Transport.InboundShed
+	ns.retired.busyReplies += st.BusyReplies
+	ns.retired.queriesShed += st.QueriesShed
 	if st.DHT != nil {
 		ns.retired.dhtLookups += st.DHT.Lookups
 		ns.retired.dhtLookupHits += st.DHT.LookupHits
@@ -569,6 +585,80 @@ func (h *Harness) DHTCached(id trace.NodeID, keyword string) bool {
 		return false
 	}
 	return len(ns.d.DHT().CachedValues(keyword)) > 0
+}
+
+// Health evaluates one running node's /healthz verdict — the overload
+// scenario's degraded→recovered probe. The ok return is false when the
+// node is not running.
+func (h *Harness) Health(id trace.NodeID) (daemon.Health, bool) {
+	ns, err := h.node(id)
+	if err != nil {
+		return daemon.Health{}, false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if !ns.running {
+		return daemon.Health{}, false
+	}
+	return ns.d.Health(), true
+}
+
+// FloodHello attacks a running node from a fabricated identity: a raw
+// connection to its listener spams hello frames advertising a download
+// of file 0 at the given interval until ctx ends or dur elapses. It
+// returns how many hellos went out and how many Busy frames came back
+// — the overload scenario's abuse generator. The connection bypasses
+// every daemon; only the victim's own admission control stands between
+// the flood and its handlers.
+func (h *Harness) FloodHello(ctx context.Context, target, from trace.NodeID, interval, dur time.Duration) (sent, busy uint64, err error) {
+	conn, err := h.net.Dial(ctx, nodeAddr(target))
+	if err != nil {
+		return 0, 0, fmt.Errorf("swarm: flood dial node %d: %w", target, err)
+	}
+	defer conn.Close()
+	fctx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+	var busyN atomic.Uint64
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			m, err := conn.Recv(fctx)
+			if err != nil {
+				return
+			}
+			if m.Type() == wire.TypeBusy {
+				busyN.Add(1)
+			}
+		}
+	}()
+	hello := &wire.Hello{
+		From:        from,
+		Queries:     []string{"f0"},
+		Downloading: []metadata.URI{firstURI()},
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-fctx.Done():
+			cancel()
+			conn.Close()
+			<-readerDone
+			return sent, busyN.Load(), nil
+		case <-tick.C:
+		}
+		if err := conn.Send(fctx, hello); err != nil {
+			cancel()
+			conn.Close()
+			<-readerDone
+			if fctx.Err() != nil {
+				return sent, busyN.Load(), nil
+			}
+			return sent, busyN.Load(), fmt.Errorf("swarm: flood send: %w", err)
+		}
+		sent++
+	}
 }
 
 // GroupsConfirmed reports whether every running node sits in a
@@ -817,6 +907,11 @@ func (h *Harness) Report(scenario string) Report {
 		rep.HellosSent += r.hellosSent
 		rep.PeersRejected += r.peersRejected
 		rep.OutboxDrops += r.outboxDrops
+		rep.OutboxDropsControl += r.outboxDropsControl
+		rep.OutboxDropsData += r.outboxDropsData
+		rep.InboundShed += r.inboundShed
+		rep.BusyReplies += r.busyReplies
+		rep.QueriesShed += r.queriesShed
 		rep.DHTLookups += r.dhtLookups
 		rep.DHTLookupHits += r.dhtLookupHits
 		rep.DHTCacheHits += r.dhtCacheHits
@@ -840,6 +935,11 @@ func (h *Harness) Report(scenario string) Report {
 		rep.HellosSent += st.Transport.HellosSent
 		rep.PeersRejected += st.Transport.PeersRejected
 		rep.OutboxDrops += st.OutboxDrops
+		rep.OutboxDropsControl += st.OutboxDropsControl
+		rep.OutboxDropsData += st.OutboxDropsData
+		rep.InboundShed += st.Transport.InboundShed
+		rep.BusyReplies += st.BusyReplies
+		rep.QueriesShed += st.QueriesShed
 		if st.DHT != nil {
 			rep.DHTLookups += st.DHT.Lookups
 			rep.DHTLookupHits += st.DHT.LookupHits

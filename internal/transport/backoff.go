@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/limit"
 	"repro/internal/rng"
 )
 
@@ -26,6 +27,11 @@ type Backoff struct {
 	// Rand drives jitter draws. Defaults to a clock-seeded source; fix
 	// it for deterministic tests.
 	Rand *rng.Rand
+	// Breaker, when set, gates DialBackoff's attempts: while the
+	// breaker is open a retry round skips the dial entirely and just
+	// sleeps, so a repeatedly failing address costs its cooldown, not a
+	// dial, per round. Outcomes of real attempts feed the breaker.
+	Breaker *limit.Breaker
 }
 
 func (b Backoff) min() time.Duration {
@@ -107,15 +113,23 @@ func DialBackoff(ctx context.Context, tr Transport, addr string, b Backoff) (Con
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c, err := tr.Dial(ctx, addr)
-		if err == nil {
-			return c, nil
-		}
-		if errors.Is(err, ErrVersionMismatch) {
-			return nil, err
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		if b.Breaker == nil || b.Breaker.Allow() {
+			c, err := tr.Dial(ctx, addr)
+			if err == nil {
+				if b.Breaker != nil {
+					b.Breaker.Success()
+				}
+				return c, nil
+			}
+			if errors.Is(err, ErrVersionMismatch) {
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if b.Breaker != nil {
+				b.Breaker.Failure()
+			}
 		}
 		timer.Reset(b.Delay(attempt))
 		select {

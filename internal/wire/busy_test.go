@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBusyRoundTrip(t *testing.T) {
+	for _, scope := range []BusyScope{BusyQuery, BusyPiece, BusyDHT, BusySymbol} {
+		in := &Busy{From: 42, Scope: scope, RetryAfterMillis: 750}
+		b := EncodeBusy(in)
+		out, err := DecodeBusy(b)
+		if err != nil {
+			t.Fatalf("scope %v: decode: %v", scope, err)
+		}
+		if out.From != in.From || out.Scope != in.Scope || out.RetryAfterMillis != in.RetryAfterMillis {
+			t.Fatalf("scope %v: round trip %+v != %+v", scope, out, in)
+		}
+		// The generic paths agree with the typed ones.
+		m, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("scope %v: generic decode: %v", scope, err)
+		}
+		if !bytes.Equal(Encode(m), b) {
+			t.Fatalf("scope %v: generic re-encode differs", scope)
+		}
+	}
+}
+
+func TestBusyRetryAfter(t *testing.T) {
+	b := &Busy{RetryAfterMillis: 1500}
+	if got := b.RetryAfter(); got != 1500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 1.5s", got)
+	}
+}
+
+func TestBusyBadScope(t *testing.T) {
+	for _, scope := range []byte{0, 5, 200} {
+		b := EncodeBusy(&Busy{From: 1, Scope: BusyQuery, RetryAfterMillis: 9})
+		b[len(b)-5] = scope // the scope byte sits before the trailing uint32
+		if _, err := DecodeBusy(b); !errors.Is(err, ErrBadType) {
+			t.Fatalf("scope %d: err = %v, want ErrBadType", scope, err)
+		}
+	}
+}
+
+func TestBusyTruncated(t *testing.T) {
+	b := EncodeBusy(&Busy{From: 7, Scope: BusySymbol, RetryAfterMillis: 100})
+	for n := 3; n < len(b); n++ {
+		if _, err := DecodeBusy(b[:n]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+	if _, err := DecodeBusy(append(b, 0)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing byte: err = %v, want ErrTrailing", err)
+	}
+}

@@ -40,6 +40,8 @@ func seedFrames() [][]byte {
 		EncodeStoreValue(sampleStoreValue()),
 		EncodeNodesReply(sampleNodesReply()),
 		EncodeNodesReply(&NodesReply{From: 5, FromAddr: "n5", RPCID: 1}),
+		EncodeBusy(&Busy{From: 9, Scope: BusyPiece, RetryAfterMillis: 250}),
+		EncodeBusy(&Busy{From: 2, Scope: BusyDHT}),
 	}
 }
 

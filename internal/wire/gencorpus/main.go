@@ -100,6 +100,9 @@ func frames() [][]byte {
 			Nodes:  []wire.NodeInfo{{ID: 3, Addr: "n3"}, {ID: 7, Addr: "n7"}},
 			Values: []wire.DHTValue{val},
 		}),
+		wire.EncodeBusy(&wire.Busy{
+			From: 5, Scope: wire.BusyQuery, RetryAfterMillis: 500,
+		}),
 	}
 }
 

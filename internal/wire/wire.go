@@ -51,6 +51,7 @@ const (
 	TypeFindValue
 	TypeStoreValue
 	TypeNodesReply
+	TypeBusy
 )
 
 // String names the message type.
@@ -82,6 +83,8 @@ func (t MsgType) String() string {
 		return "store-value"
 	case TypeNodesReply:
 		return "nodes-reply"
+	case TypeBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -308,7 +311,8 @@ func Peek(b []byte) (MsgType, error) {
 	case TypeHello, TypeMetadata, TypePiece,
 		TypeGroupHello, TypeSchedule, TypeGrant, TypePieceBcast,
 		TypeSymbol, TypeSymbolAck,
-		TypeFindNode, TypeFindValue, TypeStoreValue, TypeNodesReply:
+		TypeFindNode, TypeFindValue, TypeStoreValue, TypeNodesReply,
+		TypeBusy:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("type %d: %w", b[2], ErrBadType)
@@ -589,6 +593,8 @@ func Encode(m Msg) []byte {
 		return EncodeStoreValue(m)
 	case *NodesReply:
 		return EncodeNodesReply(m)
+	case *Busy:
+		return EncodeBusy(m)
 	default:
 		panic(fmt.Sprintf("wire: Encode(%T)", m))
 	}
@@ -629,6 +635,8 @@ func Decode(b []byte) (Msg, error) {
 		m, err = DecodeStoreValue(b)
 	case TypeNodesReply:
 		m, err = DecodeNodesReply(b)
+	case TypeBusy:
+		m, err = DecodeBusy(b)
 	default:
 		m, err = DecodePiece(b)
 	}
